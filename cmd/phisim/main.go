@@ -1,0 +1,88 @@
+// Command phisim inspects the simulated platforms: peak rates, bandwidths,
+// synchronization costs, transfer times, and modeled kernel times for a
+// given GEMM shape at every optimization level.
+//
+// Examples:
+//
+//	phisim                      # describe every platform
+//	phisim -gemm 1000x1024x4096 # model that multiply on every platform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phideep/internal/core"
+	"phideep/internal/sim"
+)
+
+func main() {
+	gemm := flag.String("gemm", "", "model a GEMM of shape MxKxN at every level (e.g. 1000x1024x4096)")
+	flag.Parse()
+
+	archs := []*sim.Arch{
+		sim.XeonPhi5110P(),
+		sim.XeonE5620Core(),
+		sim.XeonE5620Full(),
+		sim.XeonE5620Dual(),
+		sim.MatlabR2012a(),
+		sim.TeslaK20X(),
+	}
+	for _, a := range archs {
+		describe(a)
+		if *gemm != "" {
+			m, k, n, err := parseShape(*gemm)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phisim:", err)
+				os.Exit(2)
+			}
+			modelGemm(a, m, k, n)
+		}
+		fmt.Println()
+	}
+}
+
+func describe(a *sim.Arch) {
+	fmt.Printf("%s\n", a.Name)
+	fmt.Printf("  cores: %d x %d threads @ %.3f GHz\n", a.Cores, a.ThreadsPerCore, a.ClockHz/1e9)
+	fmt.Printf("  scalar peak:  %8.1f GFLOP/s (all cores, full issue)\n", a.ScalarPeak(a.Cores, a.ThreadsPerCore)/1e9)
+	fmt.Printf("  vector peak:  %8.1f GFLOP/s (%d-wide DP, FMA x%d)\n", a.VectorPeak(a.Cores, a.ThreadsPerCore)/1e9, a.VectorDoubles, a.FMAFactor)
+	fmt.Printf("  memory bandwidth: %.0f GB/s aggregate, %.0f GB/s per core\n", a.MemBW/1e9, a.PerCoreMemBW/1e9)
+	fmt.Printf("  parallel-region cost: %.2f ms at %d threads\n", a.SyncCost(a.Cores*a.ThreadsPerCore)*1e3, a.Cores*a.ThreadsPerCore)
+	if a.PCIeBW > 0 {
+		fmt.Printf("  PCIe: %.1f GB/s effective goodput, %.0f us latency; global memory %d GB\n",
+			a.PCIeBW/1e9, a.PCIeLatency*1e6, a.GlobalMemBytes>>30)
+		fmt.Printf("  10000x4096 chunk transfer: %.3f s\n", a.TransferTime(10000*4096*8))
+	}
+	if a.PerOpOverhead > 0 {
+		fmt.Printf("  per-operation dispatch overhead: %.0f us\n", a.PerOpOverhead*1e6)
+	}
+}
+
+func modelGemm(a *sim.Arch, m, k, n int) {
+	fmt.Printf("  GEMM %dx%dx%d (%.3g flops):\n", m, k, n, 2*float64(m)*float64(k)*float64(n))
+	for _, lvl := range core.OptLevels {
+		kl := lvl.KernelLevel()
+		op := sim.Op{Kind: sim.OpGemm, M: m, K: k, N: n, Level: kl, Vector: lvl >= core.OpenMPMKL}
+		t := a.OpTime(op)
+		fmt.Printf("    %-22s %12.6f s  (%8.1f GFLOP/s)\n", lvl.String(), t, op.Flops()/t/1e9)
+	}
+}
+
+func parseShape(s string) (m, k, n int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -gemm shape %q, want MxKxN", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		dims[i], err = strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || dims[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad -gemm dimension %q", p)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
+}

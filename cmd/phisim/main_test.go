@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseShape(t *testing.T) {
+	m, k, n, err := parseShape("1000x1024x4096")
+	if err != nil || m != 1000 || k != 1024 || n != 4096 {
+		t.Fatalf("parseShape: %d %d %d %v", m, k, n, err)
+	}
+	if _, _, _, err := parseShape("10X20X30"); err != nil {
+		t.Fatalf("case-insensitive parse failed: %v", err)
+	}
+	for _, bad := range []string{"", "10x20", "10x20x30x40", "ax20x30", "0x20x30", "-1x2x3"} {
+		if _, _, _, err := parseShape(bad); err == nil {
+			t.Errorf("parseShape(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Command phitrain trains a Sparse Autoencoder, an RBM, or a greedy stack
+// of either on a simulated platform, streaming a synthetic dataset through
+// the paper's chunked loading pipeline.
+//
+// Examples:
+//
+//	phitrain -model ae -data digits -side 16 -hidden 64 -epochs 5
+//	phitrain -model rbm -data digits -side 16 -hidden 100 -epochs 3
+//	phitrain -model stack -sizes 256,64,16 -data natural -side 16
+//	phitrain -model ae -numeric=false -visible 1024 -hidden 4096 \
+//	         -examples 1000000 -batch 1000 -epochs 1     # timing only
+//
+// With -numeric (the default) the run really computes on the host while the
+// simulated Xeon Phi clock is accounted; with -numeric=false only the clock
+// runs, which permits paper-scale geometries on any machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phideep"
+)
+
+func main() {
+	var (
+		modelKind = flag.String("model", "ae", "ae | rbm | stack (stacked autoencoders) | dbn (stacked RBMs)")
+		dataKind  = flag.String("data", "digits", "digits | natural | null")
+		side      = flag.Int("side", 16, "image/patch side length (dim = side^2) for synthetic data")
+		visible   = flag.Int("visible", 0, "input units (default side^2)")
+		hidden    = flag.Int("hidden", 64, "hidden units (ae/rbm)")
+		sizes     = flag.String("sizes", "", "comma-separated layer sizes for stack/dbn, input first")
+		examples  = flag.Int("examples", 10000, "dataset size")
+		batch     = flag.Int("batch", 100, "minibatch size")
+		epochs    = flag.Int("epochs", 3, "training epochs (exclusive with -iters)")
+		iters     = flag.Int("iters", 0, "training iterations (exclusive with -epochs)")
+		lr        = flag.Float64("lr", 0.5, "learning rate")
+		lambda    = flag.Float64("lambda", 1e-4, "L2 weight penalty")
+		beta      = flag.Float64("beta", 0.1, "sparsity penalty weight (ae)")
+		rho       = flag.Float64("rho", 0.05, "sparsity target (ae)")
+		level     = flag.String("level", "improved", "baseline | openmp | mkl | improved")
+		arch      = flag.String("arch", "phi", "phi | cpu1 | cpu4 | cpu8 | matlab")
+		cores     = flag.Int("cores", 0, "physical core limit (0 = all)")
+		numeric   = flag.Bool("numeric", true, "really compute (vs. timing-only)")
+		prefetch  = flag.Bool("prefetch", true, "loading-thread prefetch (Fig. 5)")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		trace     = flag.String("trace", "", "write a Chrome trace-viewer JSON of the simulated device activity to this file")
+		momentum  = flag.Float64("momentum", 0, "classical momentum coefficient [0,1)")
+		corrupt   = flag.Float64("corruption", 0, "denoising input-corruption probability (ae/stack)")
+		tied      = flag.Bool("tied", false, "tie decoder weights to the encoder (ae/stack)")
+		gaussian  = flag.Bool("gaussian", false, "Gaussian visible units (rbm/dbn) for real-valued data")
+		shuffle   = flag.Bool("shuffle", false, "reshuffle the dataset every epoch")
+		adaptive  = flag.Bool("adaptive", false, "bold-driver adaptive learning rate (numeric runs)")
+	)
+	flag.Parse()
+	opts := options{momentum: *momentum, corruption: *corrupt, tied: *tied,
+		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive}
+	if err := run(*modelKind, *dataKind, *side, *visible, *hidden, *sizes, *examples, *batch,
+		*epochs, *iters, *lr, *lambda, *beta, *rho, *level, *arch, *cores, *numeric, *prefetch, *seed, *trace, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "phitrain:", err)
+		os.Exit(1)
+	}
+}
+
+func pickArch(name string) (*phideep.Arch, error) {
+	switch name {
+	case "phi":
+		return phideep.XeonPhi5110P(), nil
+	case "cpu1":
+		return phideep.XeonE5620Core(), nil
+	case "cpu4":
+		return phideep.XeonE5620Full(), nil
+	case "cpu8":
+		return phideep.XeonE5620Dual(), nil
+	case "matlab":
+		return phideep.MatlabR2012a(), nil
+	default:
+		return nil, fmt.Errorf("unknown arch %q", name)
+	}
+}
+
+func pickLevel(name string) (phideep.OptLevel, error) {
+	switch name {
+	case "baseline":
+		return phideep.Baseline, nil
+	case "openmp":
+		return phideep.OpenMP, nil
+	case "mkl":
+		return phideep.OpenMPMKL, nil
+	case "improved":
+		return phideep.Improved, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q", name)
+	}
+}
+
+func pickData(kind string, side, dim, n int, seed uint64, numeric bool) (phideep.Source, error) {
+	if !numeric {
+		return nullSource{dim, n}, nil
+	}
+	switch kind {
+	case "digits":
+		if side*side != dim {
+			return nil, fmt.Errorf("digits: visible %d is not side^2 (%d)", dim, side*side)
+		}
+		return phideep.NewDigits(side, n, seed, 0.05), nil
+	case "natural":
+		if side*side != dim {
+			return nil, fmt.Errorf("natural: visible %d is not side^2 (%d)", dim, side*side)
+		}
+		return phideep.NewNaturalPatches(side, n, seed), nil
+	case "null":
+		return nullSource{dim, n}, nil
+	default:
+		return nil, fmt.Errorf("unknown data kind %q", kind)
+	}
+}
+
+// nullSource mirrors the internal timing-only source through the public
+// Source interface.
+type nullSource struct{ d, n int }
+
+func (s nullSource) Dim() int                                { return s.d }
+func (s nullSource) Len() int                                { return s.n }
+func (s nullSource) Chunk(start, n int, dst *phideep.Matrix) {}
+
+// options bundles the model-variant switches.
+type options struct {
+	momentum, corruption float64
+	tied                 bool
+	gaussian             bool
+	shuffle              bool
+	adaptive             bool
+}
+
+func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string,
+	examples, batch, epochs, iters int, lr, lambda, beta, rho float64,
+	levelName, archName string, cores int, numeric, prefetch bool, seed uint64, traceFile string, opts options) error {
+
+	if visible == 0 {
+		visible = side * side
+	}
+	archDesc, err := pickArch(archName)
+	if err != nil {
+		return err
+	}
+	lvl, err := pickLevel(levelName)
+	if err != nil {
+		return err
+	}
+	mach := phideep.NewMachine(archDesc, numeric, 0)
+	defer mach.Close()
+	if traceFile != "" {
+		mach.Dev.EnableTrace(1 << 20)
+		defer func() {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phitrain: trace:", err)
+				return
+			}
+			defer f.Close()
+			if err := mach.Dev.WriteChromeTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, "phitrain: trace:", err)
+			}
+		}()
+	}
+	ctx := phideep.NewContext(mach.Dev, lvl, cores, seed)
+
+	tc := phideep.TrainConfig{Epochs: epochs, Iterations: iters, LR: lr, Prefetch: prefetch}
+	if iters > 0 {
+		tc.Epochs = 0
+	}
+	if opts.adaptive {
+		startLR := lr
+		if startLR <= 0 {
+			startLR = 0.1
+		}
+		tc.Adaptive = phideep.NewBoldDriver(startLR)
+	}
+
+	src, err := pickData(dataKind, side, visible, examples, seed, numeric)
+	if err != nil {
+		return err
+	}
+	if opts.shuffle {
+		src = phideep.NewShuffled(src, seed+100)
+	}
+
+	switch modelKind {
+	case "ae", "rbm":
+		var model phideep.Trainable
+		if modelKind == "ae" {
+			m, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
+				Visible: visible, Hidden: hidden, Lambda: lambda, Beta: beta, Rho: rho,
+				Momentum: opts.momentum, Corruption: opts.corruption, Tied: opts.tied,
+			}, batch, seed)
+			if err != nil {
+				return err
+			}
+			model = m
+		} else {
+			m, err := phideep.NewRBM(ctx, phideep.RBMConfig{
+				Visible: visible, Hidden: hidden, SampleHidden: true,
+				GaussianVisible: opts.gaussian, Momentum: opts.momentum,
+			}, batch, seed)
+			if err != nil {
+				return err
+			}
+			model = m
+		}
+		trainer := &phideep.Trainer{Dev: mach.Dev, Cfg: tc}
+		res, err := trainer.Run(model, src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %dx%d on %s [%s]\n", modelKind, visible, hidden, archDesc.Name, lvl)
+		printResult(res, numeric)
+		return nil
+
+	case "stack", "dbn":
+		layerSizes, err := parseSizes(sizesFlag, visible, hidden)
+		if err != nil {
+			return err
+		}
+		scfg := phideep.StackConfig{
+			Sizes: layerSizes, Lambda: lambda, Beta: beta, Rho: rho, Batch: batch, LR: lr,
+			Momentum: opts.momentum, Corruption: opts.corruption, Tied: opts.tied,
+		}
+		var res *phideep.StackResult
+		if modelKind == "stack" {
+			res, err = phideep.PretrainAutoencoders(ctx, tc, scfg, src, seed)
+		} else {
+			scfg.RBM.SampleHidden = true
+			scfg.RBM.GaussianVisible = opts.gaussian
+			res, err = phideep.PretrainDBN(ctx, tc, scfg, src, seed)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %v on %s [%s]\n", modelKind, layerSizes, archDesc.Name, lvl)
+		for i, l := range res.Layers {
+			fmt.Printf("  layer %d (%d -> %d): steps=%d firstLoss=%.5f finalLoss=%.5f\n",
+				i, l.Visible, l.Hidden, l.Train.Steps, l.Train.FirstLoss, l.Train.FinalLoss)
+		}
+		fmt.Printf("  total simulated time: %.3f s\n", res.SimSeconds)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown model %q", modelKind)
+	}
+}
+
+func parseSizes(s string, visible, hidden int) ([]int, error) {
+	if s == "" {
+		return []int{visible, hidden}, nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sizes entry %q", p)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+func printResult(res *phideep.TrainResult, numeric bool) {
+	fmt.Printf("  steps=%d examples=%d chunks=%d\n", res.Steps, res.Examples, res.Chunks)
+	if numeric {
+		fmt.Printf("  loss: first=%.5f final=%.5f\n", res.FirstLoss, res.FinalLoss)
+		for i, l := range res.EpochLoss {
+			fmt.Printf("  epoch %d: %.5f\n", i+1, l)
+		}
+	}
+	fmt.Printf("  simulated time: %.3f s (compute %.3f s, transfers %.3f s busy, %d kernel launches)\n",
+		res.SimSeconds, res.Device.ComputeBusy, res.Device.TransferBusy, res.Device.Ops)
+	fmt.Printf("  modeled flops: %.3g, PCIe bytes: %d, peak device memory: %d MB\n",
+		res.Device.Flops, res.Device.BytesMoved, res.Device.PeakAllocated>>20)
+}

@@ -1,0 +1,81 @@
+package phideep_test
+
+import (
+	"fmt"
+
+	"phideep"
+)
+
+// Example trains a small Sparse Autoencoder on synthetic digits with the
+// fully-optimized simulated Xeon Phi and reports whether the reconstruction
+// error fell — the minimal end-to-end use of the library.
+func Example() {
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 1)
+	defer mach.Close()
+	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 42)
+
+	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
+		Visible: 64, Hidden: 16, Lambda: 1e-5,
+	}, 20, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	trainer := &phideep.Trainer{Dev: mach.Dev, Cfg: phideep.TrainConfig{
+		Epochs: 5, LR: 0.8, Prefetch: true,
+	}}
+	res, err := trainer.Run(ae, phideep.NewDigits(8, 200, 7, 0.03))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("learned:", res.FinalLoss < res.FirstLoss)
+	// Output:
+	// steps: 50
+	// learned: true
+}
+
+// ExampleOptLevel replays the same paper-scale workload at the bottom and
+// top of the Table I optimization ladder on a timing-only device; the
+// floats are never computed, only the simulated clock runs.
+func ExampleOptLevel() {
+	timeAt := func(lvl phideep.OptLevel) float64 {
+		mach := phideep.NewMachine(phideep.XeonPhi5110P(), false, 0)
+		ctx := phideep.NewContext(mach.Dev, lvl, 0, 1)
+		ae, _ := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
+			Visible: 1024, Hidden: 4096,
+		}, 1000, 1)
+		tr := &phideep.Trainer{Dev: mach.Dev, Cfg: phideep.TrainConfig{
+			Iterations: 100, LR: 0.1, Prefetch: true,
+		}}
+		res, _ := tr.Run(ae, geometryOnly{dim: 1024, n: 100000})
+		return res.SimSeconds
+	}
+	speedup := timeAt(phideep.Baseline) / timeAt(phideep.Improved)
+	fmt.Println("full ladder speedup > 100x:", speedup > 100)
+	// Output:
+	// full ladder speedup > 100x: true
+}
+
+// geometryOnly is a Source for timing-only runs: only Dim/Len matter.
+type geometryOnly struct{ dim, n int }
+
+func (s geometryOnly) Dim() int                                { return s.dim }
+func (s geometryOnly) Len() int                                { return s.n }
+func (s geometryOnly) Chunk(start, n int, dst *phideep.Matrix) {}
+
+// ExampleBoldDriver shows the adaptive learning-rate controller of the
+// paper's §III discussion: it grows the rate on improvement and cuts it on
+// worsening.
+func ExampleBoldDriver() {
+	b := phideep.NewBoldDriver(0.1)
+	b.Observe(1.0) // baseline
+	b.Observe(0.8) // improved → grow 5%
+	fmt.Printf("after improvement: %.3f\n", b.LR())
+	b.Observe(2.0) // worsened → halve
+	fmt.Printf("after worsening:   %.4f\n", b.LR())
+	// Output:
+	// after improvement: 0.105
+	// after worsening:   0.0525
+}

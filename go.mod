@@ -1,0 +1,3 @@
+module phideep
+
+go 1.22

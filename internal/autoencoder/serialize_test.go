@@ -1,0 +1,36 @@
+package autoencoder
+
+import (
+	"bytes"
+	"testing"
+
+	"phideep/internal/tensor"
+)
+
+func TestParamsSaveLoad(t *testing.T) {
+	cfg := Config{Visible: 6, Hidden: 4}
+	p := NewParams(cfg, 1)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewParams(cfg, 99) // different init
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(p.W1, q.W1) != 0 || tensor.MaxAbsDiff(p.W2, q.W2) != 0 {
+		t.Fatal("weights not restored")
+	}
+	if !tensor.EqualVec(p.B1, q.B1, 0) || !tensor.EqualVec(p.B2, q.B2, 0) {
+		t.Fatal("biases not restored")
+	}
+	// Shape mismatch rejected.
+	wrong := NewParams(Config{Visible: 5, Hidden: 4}, 1)
+	var buf2 bytes.Buffer
+	if err := p.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.Load(&buf2); err == nil {
+		t.Fatal("shape mismatch not detected")
+	}
+}

@@ -1,0 +1,161 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/device"
+	"phideep/internal/kernels"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+// Axpy computes y += alpha·x over equally shaped buffers (the vectorized
+// parameter update of Eqs. 16–18).
+func (c *Context) Axpy(alpha float64, x, y *device.Buffer) {
+	checkSame("Axpy", x, y)
+	c.exec(c.op(sim.OpElem, 0, 0, 0, x.Rows*x.Cols, 2, 24),
+		[]*device.Buffer{x, y}, []*device.Buffer{y},
+		func() { kernels.Axpy(c.Dev.Pool, c.Level, alpha, x.Mat, y.Mat) })
+}
+
+// Scale multiplies every element of m by alpha.
+func (c *Context) Scale(alpha float64, m *device.Buffer) {
+	c.exec(c.op(sim.OpElem, 0, 0, 0, m.Rows*m.Cols, 1, 16),
+		[]*device.Buffer{m}, []*device.Buffer{m},
+		func() { kernels.Scale(c.Dev.Pool, c.Level, alpha, m.Mat) })
+}
+
+// Sub computes dst = a − b elementwise.
+func (c *Context) Sub(dst, a, b *device.Buffer) {
+	checkSame("Sub", a, b)
+	checkSame("Sub", dst, a)
+	c.exec(c.op(sim.OpElem, 0, 0, 0, a.Rows*a.Cols, 1, 24),
+		[]*device.Buffer{a, b}, []*device.Buffer{dst},
+		func() { kernels.Sub(c.Dev.Pool, c.Level, dst.Mat, a.Mat, b.Mat) })
+}
+
+// MulElem computes dst = a ⊙ b.
+func (c *Context) MulElem(dst, a, b *device.Buffer) {
+	checkSame("MulElem", a, b)
+	checkSame("MulElem", dst, a)
+	c.exec(c.op(sim.OpElem, 0, 0, 0, a.Rows*a.Cols, 1, 24),
+		[]*device.Buffer{a, b}, []*device.Buffer{dst},
+		func() { kernels.MulElem(c.Dev.Pool, c.Level, dst.Mat, a.Mat, b.Mat) })
+}
+
+// ColSums reduces m's columns into the 1×Cols buffer out.
+func (c *Context) ColSums(m, out *device.Buffer) {
+	if out.Rows != 1 || out.Cols != m.Cols {
+		panic(fmt.Sprintf("blas: ColSums output %dx%d for matrix %dx%d", out.Rows, out.Cols, m.Rows, m.Cols))
+	}
+	c.exec(c.op(sim.OpReduce, 0, 0, 0, m.Rows*m.Cols, 1, 8),
+		[]*device.Buffer{m}, []*device.Buffer{out},
+		func() { kernels.ColSums(c.Dev.Pool, c.Level, m.Mat, tensor.Vector(out.Mat.RowView(0))) })
+}
+
+// SampleBernoulli draws dst[i,j] ∈ {0,1} with probability p[i,j] — the
+// stochastic unit sampling of the CD-k Gibbs chain.
+func (c *Context) SampleBernoulli(dst, p *device.Buffer) {
+	checkSame("SampleBernoulli", dst, p)
+	// Advance the context RNG exactly once per launch even in model-only
+	// mode, so numeric and model runs stay stream-aligned.
+	seedDraw := c.RNG
+	c.exec(c.op(sim.OpSample, 0, 0, 0, p.Rows*p.Cols, 30, 16),
+		[]*device.Buffer{p}, []*device.Buffer{dst},
+		func() { kernels.SampleBernoulli(c.Dev.Pool, c.Level, dst.Mat, p.Mat, seedDraw) })
+	if !c.Dev.Numeric {
+		_ = seedDraw.Uint64()
+	}
+}
+
+// SumSquaredDiff returns Σ(a−b)² — the reconstruction error numerator of
+// Eq. 3. On a model-only device the value is necessarily 0; callers must
+// treat losses from such devices as unavailable.
+func (c *Context) SumSquaredDiff(a, b *device.Buffer) float64 {
+	checkSame("SumSquaredDiff", a, b)
+	out := 0.0
+	c.exec(c.op(sim.OpReduce, 0, 0, 0, a.Rows*a.Cols, 3, 16),
+		[]*device.Buffer{a, b}, nil,
+		func() { out = kernels.SumSquaredDiff(c.Dev.Pool, c.Level, a.Mat, b.Mat) })
+	return out
+}
+
+// SumSquares returns Σ a², the squared Frobenius norm used by the L2
+// regularization term of Eq. 4. Returns 0 on a model-only device.
+func (c *Context) SumSquares(a *device.Buffer) float64 {
+	out := 0.0
+	c.exec(c.op(sim.OpReduce, 0, 0, 0, a.Rows*a.Cols, 2, 8),
+		[]*device.Buffer{a}, nil,
+		func() { out = a.Mat.SumSquares() })
+	return out
+}
+
+// AddKLSparsityDelta folds the sparsity penalty gradient into the hidden
+// delta: delta[i,j] = (delta[i,j] + coeff[j]) · dY[i,j], with coeff[j] =
+// β·(−ρ/ρ̂_j + (1−ρ)/(1−ρ̂_j)) computed on the host (h values, negligible).
+func (c *Context) AddKLSparsityDelta(delta *device.Buffer, coeff tensor.Vector, dY *device.Buffer) {
+	if len(coeff) != delta.Cols {
+		panic(fmt.Sprintf("blas: AddKLSparsityDelta coeff length %d for delta %dx%d", len(coeff), delta.Rows, delta.Cols))
+	}
+	checkSame("AddKLSparsityDelta", delta, dY)
+	c.exec(c.op(sim.OpElem, 0, 0, 0, delta.Rows*delta.Cols, 4, 32),
+		[]*device.Buffer{delta, dY}, []*device.Buffer{delta},
+		func() { kernels.AddKLSparsityDelta(c.Dev.Pool, c.Level, delta.Mat, coeff, dY.Mat) })
+}
+
+// MeanActivations returns the per-hidden-unit mean activation ρ̂ of the
+// 1×Cols reduction buffer sums divided by rows; a host-side convenience on
+// top of ColSums. Returns zeros on a model-only device.
+func (c *Context) MeanActivations(h *device.Buffer, scratch *device.Buffer) tensor.Vector {
+	c.ColSums(h, scratch)
+	out := tensor.NewVector(h.Cols)
+	if c.Dev.Numeric {
+		inv := 1 / float64(h.Rows)
+		for j, v := range scratch.Mat.RowView(0) {
+			out[j] = v * inv
+		}
+	}
+	return out
+}
+
+// KLDivergence returns Σ_j KL(ρ‖ρ̂_j) per Eq. 6, computed on the host from
+// the length-h mean-activation vector. ρ̂ values are clamped away from
+// {0,1} for numerical safety.
+func KLDivergence(rho float64, rhoHat tensor.Vector) float64 {
+	const eps = 1e-12
+	s := 0.0
+	for _, r := range rhoHat {
+		r = math.Min(math.Max(r, eps), 1-eps)
+		s += rho*math.Log(rho/r) + (1-rho)*math.Log((1-rho)/(1-r))
+	}
+	return s
+}
+
+func checkSame(op string, a, b *device.Buffer) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("blas: %s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// AddGaussianNoise computes dst = mean + sigma·N(0,1) — the visible-unit
+// sampling of a Gaussian–Bernoulli RBM. Like SampleBernoulli, the context
+// RNG advances exactly once per launch in both execution modes.
+func (c *Context) AddGaussianNoise(dst, mean *device.Buffer, sigma float64) {
+	checkSame("AddGaussianNoise", dst, mean)
+	seedDraw := c.RNG
+	c.exec(c.op(sim.OpSample, 0, 0, 0, mean.Rows*mean.Cols, 40, 16),
+		[]*device.Buffer{mean}, []*device.Buffer{dst},
+		func() { kernels.AddGaussianNoise(c.Dev.Pool, c.Level, dst.Mat, mean.Mat, sigma, seedDraw) })
+	if !c.Dev.Numeric {
+		_ = seedDraw.Uint64()
+	}
+}
+
+// Copy computes dst = src elementwise (a device-side memcpy).
+func (c *Context) Copy(dst, src *device.Buffer) {
+	checkSame("Copy", dst, src)
+	c.exec(c.op(sim.OpElem, 0, 0, 0, src.Rows*src.Cols, 0, 16),
+		[]*device.Buffer{src}, []*device.Buffer{dst},
+		func() { dst.Mat.CopyFrom(src.Mat) })
+}

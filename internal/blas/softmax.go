@@ -1,0 +1,38 @@
+package blas
+
+import (
+	"phideep/internal/device"
+	"phideep/internal/kernels"
+	"phideep/internal/sim"
+)
+
+// SoftmaxRows computes dst = row-wise softmax(src) — the classification
+// head of the fine-tuned deep network.
+func (c *Context) SoftmaxRows(dst, src *device.Buffer) {
+	checkSame("SoftmaxRows", dst, src)
+	c.exec(c.op(sim.OpElem, 0, 0, 0, src.Rows*src.Cols, 25, 16),
+		[]*device.Buffer{src}, []*device.Buffer{dst},
+		func() { kernels.SoftmaxRows(c.Dev.Pool, c.Level, dst.Mat, src.Mat) })
+}
+
+// CrossEntropyOneHot returns −Σ y·log(p) for one-hot targets (0 on
+// model-only devices).
+func (c *Context) CrossEntropyOneHot(p, y *device.Buffer) float64 {
+	checkSame("CrossEntropyOneHot", p, y)
+	out := 0.0
+	c.exec(c.op(sim.OpReduce, 0, 0, 0, p.Rows*p.Cols, 3, 16),
+		[]*device.Buffer{p, y}, nil,
+		func() { out = kernels.CrossEntropyOneHot(c.Dev.Pool, c.Level, p.Mat, y.Mat) })
+	return out
+}
+
+// CountArgmaxMatches returns the number of rows classified correctly
+// against one-hot targets (0 on model-only devices).
+func (c *Context) CountArgmaxMatches(p, y *device.Buffer) int {
+	checkSame("CountArgmaxMatches", p, y)
+	out := 0
+	c.exec(c.op(sim.OpReduce, 0, 0, 0, p.Rows*p.Cols, 2, 16),
+		[]*device.Buffer{p, y}, nil,
+		func() { out = kernels.CountArgmaxMatches(c.Dev.Pool, c.Level, p.Mat, y.Mat) })
+	return out
+}

@@ -1,0 +1,215 @@
+// Package cluster simulates the distributed alternative the paper frames
+// the Xeon Phi against (§I, §III): data-parallel training across N
+// commodity nodes with periodic parameter averaging over an Ethernet
+// interconnect — the synchronous cousin of Dean et al.'s large-scale
+// approach the paper cites as "Google has distributed a very large deep
+// network to hundreds of computing nodes".
+//
+// Each node owns a simulated device (typically a host CPU) and a model
+// replica training on its shard of every global batch. Every SyncEvery
+// local steps the replicas average their parameters with a ring all-reduce
+// whose cost is latency·2(N−1) + 2·(N−1)/N·bytes/bandwidth. The package's
+// experiment answers the paper's implicit question — how much commodity
+// cluster does one coprocessor replace? — and reproduces the known result
+// that communication, not compute, bounds synchronous clusters on fat
+// models.
+package cluster
+
+import (
+	"fmt"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/blas"
+	"phideep/internal/core"
+	"phideep/internal/device"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+// Interconnect models the network between nodes.
+type Interconnect struct {
+	// Bandwidth in bytes/s per link (1 GbE ≈ 125e6, 10 GbE ≈ 1.25e9).
+	Bandwidth float64
+	// Latency per message hop.
+	Latency float64
+}
+
+// GigabitEthernet returns the 2013-era commodity interconnect.
+func GigabitEthernet() Interconnect { return Interconnect{Bandwidth: 125e6, Latency: 50e-6} }
+
+// TenGigabitEthernet returns the contemporary datacenter interconnect.
+func TenGigabitEthernet() Interconnect { return Interconnect{Bandwidth: 1.25e9, Latency: 20e-6} }
+
+// AllReduceTime returns the modeled ring all-reduce time for the given
+// payload across n nodes.
+func (ic Interconnect) AllReduceTime(bytes int64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	hops := float64(2 * (n - 1))
+	return ic.Latency*hops + 2*float64(n-1)/float64(n)*float64(bytes)/ic.Bandwidth
+}
+
+// Config parameterizes a cluster training run.
+type Config struct {
+	Model autoencoder.Config
+	// Nodes is the cluster size; GlobalBatch the combined minibatch,
+	// split evenly (must divide).
+	Nodes       int
+	GlobalBatch int
+	// SyncEvery is the number of local steps between parameter-averaging
+	// rounds (1 = fully synchronous SGD; larger values trade gradient
+	// staleness for less communication — "local SGD").
+	SyncEvery int
+	// Net is the interconnect model.
+	Net Interconnect
+}
+
+// Cluster is a set of model replicas with synchronized simulated time.
+type Cluster struct {
+	Cfg       Config
+	nodes     []*autoencoder.Model
+	perNode   int
+	syncedAt  float64
+	paramsB   int64
+	steps     int
+	syncCount int
+}
+
+// New builds the cluster. Every node gets a fresh device of the given
+// architecture at the given optimization level, and all replicas start from
+// the same seed.
+func New(arch *sim.Arch, lvl core.OptLevel, cfg Config, numeric bool, seed uint64) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.GlobalBatch <= 0 || cfg.GlobalBatch%cfg.Nodes != 0 {
+		return nil, fmt.Errorf("cluster: global batch %d must divide evenly across %d nodes", cfg.GlobalBatch, cfg.Nodes)
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 1
+	}
+	c := &Cluster{Cfg: cfg, perNode: cfg.GlobalBatch / cfg.Nodes}
+	v, h := cfg.Model.Visible, cfg.Model.Hidden
+	c.paramsB = int64(v*h+h+h*v+v) * 8
+	for i := 0; i < cfg.Nodes; i++ {
+		dev := device.New(arch, numeric, nil)
+		ctx := core.NewContext(dev, lvl, 0, seed+uint64(i))
+		m, err := autoencoder.New(ctx, cfg.Model, c.perNode, seed) // same seed: identical init
+		if err != nil {
+			c.Free()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, m)
+	}
+	return c, nil
+}
+
+// Free releases every replica.
+func (c *Cluster) Free() {
+	for _, m := range c.nodes {
+		m.Free()
+	}
+	c.nodes = nil
+}
+
+// Step runs one global step: every node trains on its shard of x
+// (GlobalBatch×Visible; nil on timing-only devices), and every SyncEvery
+// steps the replicas all-reduce-average their parameters. Returns the mean
+// reconstruction error across nodes (0 on timing-only devices).
+func (c *Cluster) Step(x *tensor.Matrix, lr float64) float64 {
+	lossSum := 0.0
+	maxEnd := 0.0
+	for i, m := range c.nodes {
+		dev := m.Ctx.Dev
+		shard := dev.MustAlloc(c.perNode, c.Cfg.Model.Visible)
+		if dev.Numeric {
+			dev.CopyIn(shard, x.RowsView(i*c.perNode, (i+1)*c.perNode).Contiguous(), c.syncedAt)
+		} else {
+			dev.CopyIn(shard, nil, c.syncedAt)
+		}
+		lossSum += m.Step(shard, lr)
+		dev.Free(shard)
+		if t := dev.Now(); t > maxEnd {
+			maxEnd = t
+		}
+	}
+	c.steps++
+
+	if c.steps%c.Cfg.SyncEvery == 0 && c.Cfg.Nodes > 1 {
+		c.averageParameters()
+		maxEnd += c.Cfg.Net.AllReduceTime(c.paramsB, c.Cfg.Nodes)
+		c.syncCount++
+	}
+	c.syncedAt = maxEnd
+	if !c.nodes[0].Ctx.Dev.Numeric {
+		return 0
+	}
+	return lossSum / float64(c.Cfg.Nodes)
+}
+
+// averageParameters replaces every replica's parameters with the mean
+// (numeric devices only; on timing-only devices the communication cost is
+// still charged by Step).
+func (c *Cluster) averageParameters() {
+	if !c.nodes[0].Ctx.Dev.Numeric {
+		return
+	}
+	params := make([]*autoencoder.Params, len(c.nodes))
+	for i, m := range c.nodes {
+		params[i] = m.Download()
+	}
+	avg := params[0]
+	inv := 1 / float64(len(params))
+	accumulate := func(dst, src *tensor.Matrix) {
+		for r := 0; r < dst.Rows; r++ {
+			d, s := dst.RowView(r), src.RowView(r)
+			for j := range d {
+				d[j] += s[j]
+			}
+		}
+	}
+	for _, p := range params[1:] {
+		accumulate(avg.W1, p.W1)
+		accumulate(avg.W2, p.W2)
+		for j := range avg.B1 {
+			avg.B1[j] += p.B1[j]
+		}
+		for j := range avg.B2 {
+			avg.B2[j] += p.B2[j]
+		}
+	}
+	scale := func(m *tensor.Matrix) {
+		for r := 0; r < m.Rows; r++ {
+			row := m.RowView(r)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	scale(avg.W1)
+	scale(avg.W2)
+	for j := range avg.B1 {
+		avg.B1[j] *= inv
+	}
+	for j := range avg.B2 {
+		avg.B2[j] *= inv
+	}
+	for _, m := range c.nodes {
+		m.Upload(avg)
+	}
+}
+
+// SimSeconds returns the synchronized simulated time.
+func (c *Cluster) SimSeconds() float64 { return c.syncedAt }
+
+// Steps returns global steps executed; Syncs the averaging rounds.
+func (c *Cluster) Steps() int { return c.steps }
+func (c *Cluster) Syncs() int { return c.syncCount }
+
+// Download returns node 0's parameters (all nodes agree right after a
+// sync round).
+func (c *Cluster) Download() *autoencoder.Params { return c.nodes[0].Download() }
+
+// ctxOf exposes a node's context for tests.
+func (c *Cluster) ctxOf(i int) *blas.Context { return c.nodes[i].Ctx }

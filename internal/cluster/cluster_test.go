@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/core"
+	"phideep/internal/rng"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+func smallCfg(nodes, syncEvery int) Config {
+	return Config{
+		Model:       autoencoder.Config{Visible: 12, Hidden: 6, Lambda: 1e-5},
+		Nodes:       nodes,
+		GlobalBatch: 12,
+		SyncEvery:   syncEvery,
+		Net:         GigabitEthernet(),
+	}
+}
+
+func lowRank(r *rng.RNG, n, dim int) *tensor.Matrix {
+	u := tensor.NewMatrix(n, 2).Randomize(r, -2, 2)
+	v := tensor.NewMatrix(2, dim).Randomize(r, -2, 2)
+	x := tensor.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			s := u.At(i, 0)*v.At(0, j) + u.At(i, 1)*v.At(1, j)
+			x.Set(i, j, 1/(1+math.Exp(-s)))
+		}
+	}
+	return x
+}
+
+// TestSynchronousClusterMatchesSingleNode: with SyncEvery=1, parameter
+// averaging after every step makes an N-node cluster follow the same
+// trajectory as one node training on the full batch — sync SGD equivalence.
+func TestSynchronousClusterMatchesSingleNode(t *testing.T) {
+	cfg := smallCfg(3, 1)
+	cl, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, cfg, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Free()
+	solo, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, smallCfg(1, 1), true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Free()
+	x := lowRank(rng.New(8), 12, 12)
+	for step := 0; step < 3; step++ {
+		cl.Step(x, 0.4)
+		solo.Step(x, 0.4)
+		a, b := cl.Download(), solo.Download()
+		if d := tensor.MaxAbsDiff(a.W1, b.W1); d > 1e-12 {
+			t.Fatalf("step %d: cluster diverged from single node by %g", step, d)
+		}
+	}
+}
+
+func TestClusterLearns(t *testing.T) {
+	cl, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, smallCfg(4, 2), true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Free()
+	x := lowRank(rng.New(10), 12, 12)
+	first := cl.Step(x, 1.0)
+	var last float64
+	for i := 0; i < 300; i++ {
+		last = cl.Step(x, 1.0)
+	}
+	if !(last < 0.5*first) {
+		t.Fatalf("cluster did not learn: %g → %g", first, last)
+	}
+	if cl.Syncs() == 0 || cl.Steps() != 301 {
+		t.Fatalf("bookkeeping: %d steps, %d syncs", cl.Steps(), cl.Syncs())
+	}
+}
+
+// TestCommunicationBoundsTheCluster: on a fat model over 1 GbE, adding
+// nodes with per-step averaging makes things *slower* — the communication
+// wall the paper's Phi pitch rests on. Relaxing the sync interval recovers
+// some scaling.
+func TestCommunicationBoundsTheCluster(t *testing.T) {
+	run := func(nodes, syncEvery int) float64 {
+		cfg := Config{
+			Model:       autoencoder.Config{Visible: 1024, Hidden: 4096},
+			Nodes:       nodes,
+			GlobalBatch: 1000 - 1000%nodes,
+			SyncEvery:   syncEvery,
+			Net:         GigabitEthernet(),
+		}
+		cfg.GlobalBatch = nodes * (1000 / nodes)
+		cl, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, cfg, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Free()
+		for i := 0; i < 10; i++ {
+			cl.Step(nil, 0.1)
+		}
+		return cl.SimSeconds()
+	}
+	one := run(1, 1)
+	fourSync := run(4, 1)
+	fourLocal := run(4, 10)
+	if !(fourSync > one) {
+		t.Errorf("per-step averaging over 1 GbE should not beat one node on a fat model: %g vs %g", fourSync, one)
+	}
+	if !(fourLocal < fourSync) {
+		t.Errorf("local SGD (sync every 10) should beat per-step sync: %g vs %g", fourLocal, fourSync)
+	}
+}
+
+func TestAllReduceModel(t *testing.T) {
+	ic := GigabitEthernet()
+	if ic.AllReduceTime(1<<20, 1) != 0 {
+		t.Fatal("single node must not communicate")
+	}
+	t2 := ic.AllReduceTime(1<<20, 2)
+	t8 := ic.AllReduceTime(1<<20, 8)
+	if !(t8 > t2) {
+		t.Fatal("more hops must cost more latency")
+	}
+	// Bandwidth term approaches 2×payload/bw as N grows.
+	asym := 2 * float64(1<<20) / ic.Bandwidth
+	if math.Abs(ic.AllReduceTime(1<<20, 64)-asym) > 0.5*asym {
+		t.Fatal("ring bandwidth term off")
+	}
+	if TenGigabitEthernet().AllReduceTime(1<<20, 4) >= ic.AllReduceTime(1<<20, 4) {
+		t.Fatal("10 GbE should be faster")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, smallCfg(0, 1), false, 1); err == nil {
+		t.Error("zero nodes must fail")
+	}
+	bad := smallCfg(5, 1) // 12 % 5 != 0
+	if _, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, bad, false, 1); err == nil {
+		t.Error("indivisible batch must fail")
+	}
+	bad = smallCfg(2, 1)
+	bad.Model.Visible = 0
+	if _, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, bad, false, 1); err == nil {
+		t.Error("bad model must fail")
+	}
+}
+
+func TestReplicasShareContextsButNotDevices(t *testing.T) {
+	cl, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, smallCfg(2, 1), false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Free()
+	if cl.ctxOf(0).Dev == cl.ctxOf(1).Dev {
+		t.Fatal("nodes share a device")
+	}
+}

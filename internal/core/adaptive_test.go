@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"phideep/internal/device"
+	"phideep/internal/opt"
+	"phideep/internal/sim"
+)
+
+// recordingLR captures the rates the trainer requests.
+type recordingLR struct {
+	rates  []float64
+	losses []float64
+	lr     float64
+}
+
+func (r *recordingLR) LR() float64 {
+	r.rates = append(r.rates, r.lr)
+	return r.lr
+}
+
+func (r *recordingLR) Observe(loss float64) {
+	r.losses = append(r.losses, loss)
+	r.lr *= 0.5
+}
+
+func TestAdaptiveLRDrivesTheTrainer(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), true, nil)
+	m := newAE(t, dev, Improved, 10)
+	rec := &recordingLR{lr: 0.4}
+	tr := &Trainer{Dev: dev, Cfg: TrainConfig{Iterations: 5, Adaptive: rec}}
+	if _, err := tr.Run(m, digitSource(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.rates) != 5 || len(rec.losses) != 5 {
+		t.Fatalf("controller called %d/%d times", len(rec.rates), len(rec.losses))
+	}
+	// The trainer must use the controller's current rate each step.
+	if rec.rates[0] != 0.4 || rec.rates[1] != 0.2 || rec.rates[4] != 0.025 {
+		t.Fatalf("rates not threaded through: %v", rec.rates)
+	}
+}
+
+func TestAdaptiveIgnoredOnTimingOnlyDevices(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), false, nil)
+	m := newAE(t, dev, Improved, 10)
+	rec := &recordingLR{lr: 0.4}
+	tr := &Trainer{Dev: dev, Cfg: TrainConfig{Iterations: 3, LR: 0.1, Adaptive: rec}}
+	if _, err := tr.Run(m, digitSource(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.rates) != 0 || len(rec.losses) != 0 {
+		t.Fatal("adaptive controller must not run without a loss signal")
+	}
+}
+
+func TestBoldDriverTrainsAutoencoder(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), true, nil)
+	m := newAE(t, dev, Improved, 10)
+	tr := &Trainer{Dev: dev, Cfg: TrainConfig{
+		Epochs: 20, Adaptive: opt.NewBoldDriver(0.05), ChunkExamples: 50, Prefetch: true,
+	}}
+	res, err := tr.Run(m, digitSource(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.FinalLoss < res.FirstLoss) {
+		t.Fatalf("bold-driver training did not learn: %g → %g", res.FirstLoss, res.FinalLoss)
+	}
+}

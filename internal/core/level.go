@@ -1,0 +1,82 @@
+// Package core is the paper's primary contribution: the parallel
+// unsupervised-training engine for the Intel Xeon Phi. It implements
+// Algorithm 1 — stream the training set to the device in large chunks,
+// split each chunk into minibatches, compute the gradient (back-propagation
+// for the Sparse Autoencoder, Contrastive Divergence for the RBM) and
+// update the parameters — with the Fig. 5 loading-thread pipeline that
+// prefetches the next chunk over PCIe while the cores train on the current
+// one.
+//
+// The engine is model-agnostic: anything implementing Trainable (the
+// autoencoder and rbm Models) trains under any OptLevel of the Table I
+// ladder on any simulated platform.
+package core
+
+import (
+	"fmt"
+
+	"phideep/internal/blas"
+	"phideep/internal/device"
+	"phideep/internal/kernels"
+)
+
+// OptLevel is one step of the paper's Table I optimization ladder.
+type OptLevel int
+
+const (
+	// Baseline is the un-optimized sequential algorithm: scalar loops on a
+	// single thread.
+	Baseline OptLevel = iota
+	// OpenMP parallelizes all loops across the cores, still scalar and
+	// unblocked.
+	OpenMP
+	// OpenMPMKL additionally routes matrix operations through the
+	// MKL-grade blocked, vectorized GEMM.
+	OpenMPMKL
+	// Improved is OpenMPMKL plus loop fusion (fewer, coarser parallel
+	// regions) and the Fig. 6 concurrent scheduling of independent ops.
+	Improved
+)
+
+// OptLevels lists the ladder in order, for sweeps.
+var OptLevels = []OptLevel{Baseline, OpenMP, OpenMPMKL, Improved}
+
+func (l OptLevel) String() string {
+	switch l {
+	case Baseline:
+		return "Baseline"
+	case OpenMP:
+		return "OpenMP"
+	case OpenMPMKL:
+		return "OpenMP+MKL"
+	case Improved:
+		return "Improved OpenMP+MKL"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(l))
+	}
+}
+
+// KernelLevel maps the ladder step to its kernel implementation.
+func (l OptLevel) KernelLevel() kernels.Level {
+	switch l {
+	case Baseline:
+		return kernels.Naive
+	case OpenMP:
+		return kernels.Parallel
+	default:
+		return kernels.ParallelBlocked
+	}
+}
+
+// NewContext builds a blas context configured for the ladder step on the
+// given device: kernel level, VPU vectorization, loop fusion and Fig. 6
+// concurrency are all switched together, exactly as the paper's
+// optimization steps stack. cores limits the physical cores (0 = all; 30
+// reproduces Table I's right column).
+func NewContext(dev *device.Device, lvl OptLevel, cores int, seed uint64) *blas.Context {
+	ctx := blas.NewContext(dev, lvl.KernelLevel(), seed)
+	ctx.Cores = cores
+	ctx.AutoFuse = lvl == Improved
+	ctx.AutoConcurrent = lvl == Improved
+	return ctx
+}

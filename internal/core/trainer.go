@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/data"
+	"phideep/internal/device"
+	"phideep/internal/opt"
+	"phideep/internal/tensor"
+)
+
+// Trainable is a model the engine can drive: one gradient-and-update step
+// per minibatch resident on the device.
+type Trainable interface {
+	// Step consumes one Batch×InputDim device buffer and returns a
+	// progress metric (reconstruction error; 0 on model-only devices).
+	Step(x *device.Buffer, lr float64) float64
+	// BatchSize returns the fixed minibatch size the model was built for.
+	BatchSize() int
+	// InputDim returns the example dimensionality.
+	InputDim() int
+}
+
+// TrainConfig parameterizes one training run of Algorithm 1.
+type TrainConfig struct {
+	// Epochs is the number of passes over the source. Mutually exclusive
+	// with Iterations.
+	Epochs int
+	// Iterations, when non-zero, trains for exactly this many minibatch
+	// updates (streaming through the source with wraparound) instead of
+	// whole epochs — the "200 iterations per layer" protocol of Table I.
+	Iterations int
+	// LR is the learning rate; Schedule, when non-nil, overrides it per
+	// update step.
+	LR       float64
+	Schedule func(step int) float64
+	// Adaptive, when non-nil, overrides both with a loss-driven controller
+	// (the §III adaptive-learning-rate strategy, e.g. opt.NewBoldDriver).
+	// Effective only on numeric devices — timing-only runs have no loss
+	// signal and fall back to Schedule/LR.
+	Adaptive opt.AdaptiveLR
+	// ChunkExamples is the number of examples per device chunk (Fig. 5's
+	// "large chunk"). It must be a positive multiple of the model's batch
+	// size. Zero defaults to min(srcLen, 32×batch) rounded to a batch
+	// multiple.
+	ChunkExamples int
+	// BufferDepth is the number of staging chunk buffers in device global
+	// memory; 2 gives the paper's double buffering. Minimum 1.
+	BufferDepth int
+	// Prefetch enables the loading thread: the transfer of chunk i+1
+	// proceeds while chunk i trains. With Prefetch false every transfer
+	// waits for the compute engine to drain first (the configuration the
+	// paper measured at "about 17% of the total time ... spent on
+	// transferring").
+	Prefetch bool
+}
+
+// Result summarizes a training run.
+type Result struct {
+	// SimSeconds is the simulated makespan of all device work.
+	SimSeconds float64
+	// Steps is the number of minibatch updates executed.
+	Steps int
+	// Examples is the number of training examples consumed.
+	Examples int
+	// Chunks is the number of chunk transfers issued.
+	Chunks int
+	// FinalLoss and FirstLoss are the progress metric averaged over the
+	// last and first chunk respectively (NaN on model-only devices).
+	FirstLoss, FinalLoss float64
+	// EpochLoss is the average progress metric per epoch (empty when
+	// Iterations mode is used; NaN entries on model-only devices).
+	EpochLoss []float64
+	// Device is the device activity snapshot at the end of the run.
+	Device device.Stats
+}
+
+// Trainer runs Algorithm 1 on one device.
+type Trainer struct {
+	Dev *device.Device
+	Cfg TrainConfig
+}
+
+// Run trains model on src and returns the run summary. The device's
+// simulated timelines are *not* reset, so successive runs accumulate (use
+// ResetTime between independent measurements).
+func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
+	batch := model.BatchSize()
+	dim := model.InputDim()
+	if src.Dim() != dim {
+		return nil, fmt.Errorf("core: source dim %d, model wants %d", src.Dim(), dim)
+	}
+	if src.Len() < batch {
+		return nil, fmt.Errorf("core: source has %d examples, smaller than one batch of %d", src.Len(), batch)
+	}
+	cfg := t.Cfg
+	if cfg.Epochs <= 0 && cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: neither Epochs nor Iterations set")
+	}
+	if cfg.Epochs > 0 && cfg.Iterations > 0 {
+		return nil, fmt.Errorf("core: Epochs and Iterations are mutually exclusive")
+	}
+	if cfg.BufferDepth <= 0 {
+		cfg.BufferDepth = 2
+	}
+	if cfg.ChunkExamples == 0 {
+		cfg.ChunkExamples = 32 * batch
+		if max := src.Len() / batch * batch; cfg.ChunkExamples > max {
+			cfg.ChunkExamples = max
+		}
+		// Shrink the default so the staging ring fits what is left of
+		// device global memory next to the model — the 8 GB constraint
+		// that shapes the paper's chunking in the first place.
+		free := t.Dev.Arch.GlobalMemBytes - t.Dev.Allocated()
+		perExample := int64(dim) * 8 * int64(cfg.BufferDepth)
+		if maxExamples := free / perExample; int64(cfg.ChunkExamples) > maxExamples {
+			cfg.ChunkExamples = int(maxExamples) / batch * batch
+		}
+		if cfg.ChunkExamples < batch {
+			return nil, fmt.Errorf("core: device memory cannot stage even one %d-example batch of dim %d next to the model (%d B free)",
+				batch, dim, free)
+		}
+	}
+	if cfg.ChunkExamples <= 0 || cfg.ChunkExamples%batch != 0 {
+		return nil, fmt.Errorf("core: chunk of %d examples is not a positive multiple of batch %d", cfg.ChunkExamples, batch)
+	}
+	if cfg.LR == 0 && cfg.Schedule == nil && cfg.Adaptive == nil {
+		return nil, fmt.Errorf("core: zero learning rate")
+	}
+
+	// Total update steps.
+	stepsPerEpoch := src.Len() / batch
+	totalSteps := cfg.Iterations
+	if totalSteps == 0 {
+		totalSteps = cfg.Epochs * stepsPerEpoch
+	}
+	batchesPerChunk := cfg.ChunkExamples / batch
+	totalChunks := (totalSteps + batchesPerChunk - 1) / batchesPerChunk
+
+	// Staging ring in device global memory (Fig. 5).
+	ring := make([]*device.Buffer, cfg.BufferDepth)
+	hostStage := make([]*tensor.Matrix, cfg.BufferDepth)
+	for i := range ring {
+		b, err := t.Dev.Alloc(cfg.ChunkExamples, dim)
+		if err != nil {
+			for _, rb := range ring[:i] {
+				t.Dev.Free(rb)
+			}
+			return nil, fmt.Errorf("core: allocating chunk ring: %w", err)
+		}
+		ring[i] = b
+		if t.Dev.Numeric {
+			hostStage[i] = tensor.NewMatrix(cfg.ChunkExamples, dim)
+		}
+	}
+	defer func() {
+		for _, b := range ring {
+			t.Dev.Free(b)
+		}
+	}()
+
+	// slotFree[i] is the simulated time at which ring slot i may be
+	// overwritten (its previous chunk fully consumed by compute).
+	slotFree := make([]float64, cfg.BufferDepth)
+
+	res := &Result{FirstLoss: math.NaN(), FinalLoss: math.NaN()}
+	step := 0
+	epochLossSum, epochLossN := 0.0, 0
+
+	for chunk := 0; chunk < totalChunks && step < totalSteps; chunk++ {
+		slot := chunk % cfg.BufferDepth
+		buf := ring[slot]
+
+		// The loading thread fills the slot as soon as the slot and the
+		// PCIe link are free; without prefetch it additionally waits for
+		// the compute engine to drain (synchronous transfers).
+		earliest := slotFree[slot]
+		if !cfg.Prefetch {
+			if cb := t.Dev.ComputeBusyUntil(); cb > earliest {
+				earliest = cb
+			}
+		}
+		start := (chunk * cfg.ChunkExamples) % src.Len()
+		if t.Dev.Numeric {
+			src.Chunk(start, cfg.ChunkExamples, hostStage[slot])
+			t.Dev.CopyIn(buf, hostStage[slot], earliest)
+		} else {
+			t.Dev.CopyIn(buf, nil, earliest)
+		}
+		res.Chunks++
+
+		chunkLossSum, chunkLossN := 0.0, 0
+		for b := 0; b < batchesPerChunk && step < totalSteps; b++ {
+			x := buf.Slice(b*batch, (b+1)*batch)
+			lr := cfg.LR
+			if cfg.Schedule != nil {
+				lr = cfg.Schedule(step)
+			}
+			if cfg.Adaptive != nil && t.Dev.Numeric {
+				lr = cfg.Adaptive.LR()
+			}
+			loss := model.Step(x, lr)
+			if cfg.Adaptive != nil && t.Dev.Numeric {
+				cfg.Adaptive.Observe(loss)
+			}
+			chunkLossSum += loss
+			chunkLossN++
+			step++
+			res.Examples += batch
+
+			if cfg.Epochs > 0 {
+				epochLossSum += loss
+				epochLossN++
+				if step%stepsPerEpoch == 0 {
+					res.EpochLoss = append(res.EpochLoss, avgOrNaN(t.Dev, epochLossSum, epochLossN))
+					epochLossSum, epochLossN = 0, 0
+				}
+			}
+		}
+		avg := avgOrNaN(t.Dev, chunkLossSum, chunkLossN)
+		if chunk == 0 {
+			res.FirstLoss = avg
+		}
+		res.FinalLoss = avg
+		// The slot may be reused once the compute engine has consumed
+		// everything issued so far (all batches of this chunk included).
+		slotFree[slot] = t.Dev.ComputeBusyUntil()
+	}
+
+	res.Steps = step
+	res.SimSeconds = t.Dev.Now()
+	res.Device = t.Dev.Stats()
+	return res, nil
+}
+
+func avgOrNaN(dev *device.Device, sum float64, n int) float64 {
+	if !dev.Numeric || n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

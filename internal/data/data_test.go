@@ -1,0 +1,226 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phideep/internal/tensor"
+)
+
+func TestDigitsDeterministicAndRanged(t *testing.T) {
+	d := NewDigits(16, 100, 7, 0.05)
+	if d.Dim() != 256 || d.Len() != 100 {
+		t.Fatal("geometry")
+	}
+	a := tensor.NewMatrix(10, 256)
+	b := tensor.NewMatrix(10, 256)
+	d.Chunk(5, 10, a)
+	d.Chunk(5, 10, b)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("digit generation not deterministic")
+	}
+	for i := 0; i < a.Rows; i++ {
+		for _, v := range a.RowView(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel out of range: %g", v)
+			}
+		}
+	}
+	// Strokes must light up a plausible fraction of the canvas.
+	mean := a.Mean()
+	if mean < 0.02 || mean > 0.6 {
+		t.Fatalf("digit ink fraction %g implausible", mean)
+	}
+}
+
+func TestDigitsDistinctExamples(t *testing.T) {
+	d := NewDigits(16, 50, 1, 0)
+	m := tensor.NewMatrix(50, 256)
+	d.Chunk(0, 50, m)
+	same := 0
+	for i := 1; i < 50; i++ {
+		if tensor.EqualVec(tensor.Vector(m.RowView(0)), tensor.Vector(m.RowView(i)), 1e-9) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d duplicate digit images", same)
+	}
+}
+
+func TestDigitsWraparound(t *testing.T) {
+	d := NewDigits(16, 10, 3, 0.01)
+	a := tensor.NewMatrix(1, 256)
+	b := tensor.NewMatrix(1, 256)
+	d.Chunk(3, 1, a)
+	d.Chunk(13, 1, b) // 13 mod 10 = 3
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("index wraparound broken")
+	}
+}
+
+func TestDigitsLabelsStable(t *testing.T) {
+	d := NewDigits(16, 30, 9, 0)
+	counts := map[int]int{}
+	for i := 0; i < 30; i++ {
+		l := d.Label(i)
+		if l < 0 || l > 9 {
+			t.Fatalf("label %d", l)
+		}
+		if d.Label(i) != l {
+			t.Fatal("labels not stable")
+		}
+		counts[l]++
+	}
+	if len(counts) < 5 {
+		t.Fatalf("only %d distinct digit classes in 30 draws", len(counts))
+	}
+}
+
+func TestNaturalPatchesProperties(t *testing.T) {
+	s := NewNaturalPatches(12, 200, 11)
+	if s.Dim() != 144 || s.Len() != 200 {
+		t.Fatal("geometry")
+	}
+	a := tensor.NewMatrix(50, 144)
+	s.Chunk(0, 50, a)
+	b := tensor.NewMatrix(50, 144)
+	s.Chunk(0, 50, b)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("patch extraction not deterministic")
+	}
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range a.RowView(i) {
+			if v < 0.1-1e-9 || v > 0.9+1e-9 {
+				t.Fatalf("patch value %g outside [0.1, 0.9]", v)
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		// Rescaling hits both ends of the range.
+		if hi-lo < 0.79 {
+			t.Fatalf("patch %d not spanning the target range: [%g, %g]", i, lo, hi)
+		}
+	}
+}
+
+func TestNaturalPatchesSpatialSmoothness(t *testing.T) {
+	// 1/f-like images: neighboring pixels correlate much more than
+	// far-apart pixels, unlike white noise.
+	s := NewNaturalPatches(16, 100, 5)
+	m := tensor.NewMatrix(100, 256)
+	s.Chunk(0, 100, m)
+	adjacent, far := 0.0, 0.0
+	n := 0
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for y := 0; y < 16; y++ {
+			for x := 0; x+8 < 16; x++ {
+				p := row[y*16+x]
+				adjacent += math.Abs(p - row[y*16+x+1])
+				far += math.Abs(p - row[y*16+x+8])
+				n++
+			}
+		}
+	}
+	if !(adjacent/float64(n) < 0.5*far/float64(n)) {
+		t.Fatalf("patches not smooth: adjacent diff %g vs far diff %g", adjacent/float64(n), far/float64(n))
+	}
+}
+
+func TestInMemorySourceAndMaterialize(t *testing.T) {
+	x := tensor.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	s := InMemory{X: x}
+	if s.Dim() != 2 || s.Len() != 3 {
+		t.Fatal("geometry")
+	}
+	dst := tensor.NewMatrix(4, 2)
+	s.Chunk(1, 4, dst) // wraps: rows 1, 2, 0, 1
+	want := tensor.FromRows([][]float64{{3, 4}, {5, 6}, {1, 2}, {3, 4}})
+	if !tensor.Equal(want, dst, 0) {
+		t.Fatalf("wraparound chunk wrong: %v", dst)
+	}
+	m := Materialize(s)
+	if !tensor.Equal(m, x, 0) {
+		t.Fatal("Materialize")
+	}
+}
+
+func TestNullSource(t *testing.T) {
+	s := Null{D: 5, N: 10}
+	dst := tensor.NewMatrix(3, 5)
+	dst.Fill(7)
+	s.Chunk(0, 3, dst)
+	if dst.At(0, 0) != 7 {
+		t.Fatal("Null must not touch the destination")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad chunk shape should panic")
+		}
+	}()
+	s.Chunk(0, 3, tensor.NewMatrix(3, 4))
+}
+
+func TestChunkValidation(t *testing.T) {
+	s := Null{D: 2, N: 4}
+	for _, f := range []func(){
+		func() { s.Chunk(-1, 1, tensor.NewMatrix(1, 2)) },
+		func() { s.Chunk(0, -1, tensor.NewMatrix(0, 2)) },
+		func() { Null{D: 2, N: 0}.Chunk(0, 1, tensor.NewMatrix(1, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRescale(t *testing.T) {
+	m := tensor.FromRows([][]float64{{-2, 0}, {2, 1}})
+	Rescale(m, 0.1, 0.9)
+	if math.Abs(m.At(0, 0)-0.1) > 1e-15 || math.Abs(m.At(1, 0)-0.9) > 1e-15 {
+		t.Fatalf("rescale endpoints: %v", m)
+	}
+	flat := tensor.FromRows([][]float64{{3, 3}})
+	Rescale(flat, 0, 1)
+	if flat.At(0, 0) != 0.5 {
+		t.Fatal("constant matrix must map to midpoint")
+	}
+	Rescale(tensor.NewMatrix(0, 0), 0, 1) // no panic on empty
+}
+
+func TestRescaleQuick(t *testing.T) {
+	f := func(seed int64, lo8, span8 uint8) bool {
+		lo := float64(lo8)/255 - 0.5
+		hi := lo + float64(span8)/255 + 0.01
+		m := tensor.NewMatrix(5, 5)
+		for i := range m.Data {
+			m.Data[i] = float64((seed>>uint(i%32))&0xff) / 10
+		}
+		Rescale(m, lo, hi)
+		for _, v := range m.Data {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitsTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDigits(4, 10, 1, 0)
+}

@@ -1,0 +1,66 @@
+package data
+
+import (
+	"sync"
+
+	"phideep/internal/rng"
+	"phideep/internal/tensor"
+)
+
+// Shuffled wraps a Source with a deterministic per-epoch permutation:
+// pass e over the data visits it in the order Perm_e, with a fresh
+// permutation drawn for every epoch (index / Len). Online SGD converges
+// noticeably better with reshuffling than with a fixed visit order, which
+// is why production loaders shuffle between epochs.
+//
+// Shuffled is safe for concurrent Chunk calls (the prefetching loading
+// thread), and example (epoch, position) pairs are pure functions of the
+// seed, so runs remain reproducible.
+type Shuffled struct {
+	Base Source
+	Seed uint64
+
+	mu    sync.Mutex
+	epoch int
+	perm  []int
+}
+
+// NewShuffled returns a shuffling wrapper around base.
+func NewShuffled(base Source, seed uint64) *Shuffled {
+	return &Shuffled{Base: base, Seed: seed, epoch: -1}
+}
+
+// Dim implements Source.
+func (s *Shuffled) Dim() int { return s.Base.Dim() }
+
+// Len implements Source.
+func (s *Shuffled) Len() int { return s.Base.Len() }
+
+// Chunk implements Source: position i maps to Perm_{i/Len}[i mod Len] of
+// the base source. A chunk spanning an epoch boundary uses both
+// permutations, exactly as a streaming pass would.
+func (s *Shuffled) Chunk(start, n int, dst *tensor.Matrix) {
+	checkChunk(s, start, n, dst)
+	row := tensor.NewMatrix(1, s.Dim())
+	for i := 0; i < n; i++ {
+		idx := start + i
+		epoch := idx / s.Len()
+		pos := idx % s.Len()
+		base := s.permAt(epoch)[pos]
+		s.Base.Chunk(base, 1, row)
+		copy(dst.RowView(i), row.RowView(0))
+	}
+}
+
+// permAt returns the permutation for the given epoch, caching the most
+// recent one (training visits epochs in order, so the cache almost always
+// hits; misses regenerate deterministically).
+func (s *Shuffled) permAt(epoch int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		s.perm = rng.New(s.Seed ^ (0x9e3779b97f4a7c15 * uint64(epoch+1))).Perm(s.Len())
+		s.epoch = epoch
+	}
+	return s.perm
+}

@@ -1,0 +1,414 @@
+// Package device implements phideep's offload runtime: a simulated
+// coprocessor (or host CPU) that owns device memory, executes kernels on a
+// compute engine, and moves data over a PCIe transfer engine.
+//
+// A Device runs in one of two modes. In Numeric mode every kernel really
+// executes (via internal/kernels) *and* charges simulated time, so results
+// are bit-real and timing is modeled — this is what tests, examples and
+// small benchmarks use. In model-only mode kernels charge time without
+// touching the floats, which makes the paper's large sweeps (up to
+// 4096×16384 networks over a million examples) feasible on any host. Both
+// modes share exactly one costing path, so reported times are identical.
+//
+// The compute engine and the transfer engine are independent timelines:
+// a transfer for the next data chunk can proceed while the cores train on
+// the current one, which is precisely the loading-thread double-buffering
+// scheme of the paper's Fig. 5.
+package device
+
+import (
+	"fmt"
+
+	"phideep/internal/parallel"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+// Device is one simulated execution platform.
+type Device struct {
+	Arch *sim.Arch
+
+	// Numeric selects whether kernels actually compute (true) or only
+	// charge simulated time (false).
+	Numeric bool
+
+	// Pool executes parallel kernels when Numeric. May be nil, in which
+	// case parallel levels run on the calling goroutine (still correct,
+	// just not concurrent).
+	Pool *parallel.Pool
+
+	compute  sim.Timeline
+	transfer sim.Timeline
+
+	allocated int64
+	peakAlloc int64
+
+	// Stats.
+	ops       int
+	transfers int
+	flops     float64
+	moved     int64
+
+	// trace records per-activity events when enabled via EnableTrace.
+	trace *traceBuffer
+}
+
+// New creates a device for the given architecture. numeric selects numeric
+// or model-only execution; pool may be nil.
+func New(arch *sim.Arch, numeric bool, pool *parallel.Pool) *Device {
+	return &Device{
+		Arch:     arch,
+		Numeric:  numeric,
+		Pool:     pool,
+		compute:  sim.Timeline{Name: "compute"},
+		transfer: sim.Timeline{Name: "transfer"},
+	}
+}
+
+// Buffer is a device-resident matrix. In model-only mode Mat is nil and
+// only the shape and timing metadata are tracked.
+type Buffer struct {
+	Rows, Cols int
+	Mat        *tensor.Matrix // nil unless the device is numeric
+
+	dev     *Device
+	bytes   int64
+	readyAt float64 // simulated time at which the contents are valid
+	freed   bool
+	parent  *Buffer // non-nil for row-slice views
+}
+
+// Slice returns rows [i, j) of b as a view sharing b's storage and ready
+// time. Views are not separately allocated or freed; they are meant as
+// read-only kernel inputs (the minibatch windows into a data chunk of
+// Algorithm 1). Writing through a view does not update the parent's ready
+// time.
+func (b *Buffer) Slice(i, j int) *Buffer {
+	if b.parent != nil {
+		panic("device: Slice of a slice")
+	}
+	if i < 0 || j < i || j > b.Rows {
+		panic(fmt.Sprintf("device: Slice [%d, %d) out of %d rows", i, j, b.Rows))
+	}
+	v := &Buffer{Rows: j - i, Cols: b.Cols, dev: b.dev, parent: b}
+	if b.Mat != nil {
+		v.Mat = b.Mat.RowsView(i, j)
+	}
+	return v
+}
+
+// isFreed reports whether the buffer (or, for views, its parent) has been
+// freed.
+func (b *Buffer) isFreed() bool {
+	if b.parent != nil {
+		return b.parent.freed
+	}
+	return b.freed
+}
+
+// ready returns the buffer's effective ready time (the parent's for views).
+func (b *Buffer) ready() float64 {
+	if b.parent != nil {
+		return b.parent.readyAt
+	}
+	return b.readyAt
+}
+
+// Bytes returns the device memory footprint of the buffer.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// ReadyAt returns the simulated time at which the buffer's current contents
+// became (or become) valid.
+func (b *Buffer) ReadyAt() float64 { return b.readyAt }
+
+// Alloc reserves an r×c float64 buffer in device global memory. It fails
+// when the device's memory capacity (8 GB on the 5110P) would be exceeded —
+// the constraint that forces the paper's chunked streaming design.
+func (d *Device) Alloc(r, c int) (*Buffer, error) {
+	bytes := int64(r) * int64(c) * 8
+	if d.allocated+bytes > d.Arch.GlobalMemBytes {
+		return nil, fmt.Errorf("device: out of global memory on %s: %d B allocated, %d B requested, %d B capacity",
+			d.Arch.Name, d.allocated, bytes, d.Arch.GlobalMemBytes)
+	}
+	d.allocated += bytes
+	if d.allocated > d.peakAlloc {
+		d.peakAlloc = d.allocated
+	}
+	b := &Buffer{Rows: r, Cols: c, dev: d, bytes: bytes}
+	if d.Numeric {
+		b.Mat = tensor.NewMatrix(r, c)
+	}
+	return b, nil
+}
+
+// MustAlloc is Alloc that panics on out-of-memory; for tests and examples
+// with known-small footprints.
+func (d *Device) MustAlloc(r, c int) *Buffer {
+	b, err := d.Alloc(r, c)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases the buffer's device memory. Double frees panic.
+func (d *Device) Free(b *Buffer) {
+	if b.parent != nil {
+		panic("device: Free of a slice view")
+	}
+	if b.freed {
+		panic("device: double free")
+	}
+	b.freed = true
+	d.allocated -= b.bytes
+	b.Mat = nil
+}
+
+// CopyIn schedules a host→device transfer of host into b on the transfer
+// engine, no earlier than simulated time earliest (0 for "as soon as the
+// link is free" — the prefetching loading thread of Fig. 5). host may be
+// nil in model-only mode. It returns the transfer's completion time, which
+// also becomes the buffer's ready time.
+func (d *Device) CopyIn(b *Buffer, host *tensor.Matrix, earliest float64) float64 {
+	if b.isFreed() {
+		panic("device: CopyIn into freed buffer")
+	}
+	if b.parent != nil {
+		panic("device: CopyIn into a slice view; transfer into the parent buffer")
+	}
+	if d.Numeric {
+		if host == nil {
+			panic("device: CopyIn with nil host matrix on a numeric device")
+		}
+		if host.Rows != b.Rows || host.Cols != b.Cols {
+			panic(fmt.Sprintf("device: CopyIn shape mismatch: host %dx%d, buffer %dx%d", host.Rows, host.Cols, b.Rows, b.Cols))
+		}
+		b.Mat.CopyFrom(host)
+	}
+	dur := d.Arch.TransferTime(b.bytes)
+	start, end := d.transfer.Schedule(earliest, dur)
+	b.readyAt = end
+	d.transfers++
+	d.moved += b.bytes
+	d.trace.add(TraceEvent{Name: fmt.Sprintf("copy-in %d B", b.bytes), Engine: "transfer", Start: start, End: end})
+	return end
+}
+
+// CopyOut schedules a device→host transfer of b into host (shapes must
+// match; host may be nil in model-only mode) and returns its completion
+// time. The transfer starts only after both the buffer's contents are ready
+// and the compute engine has issued everything that produces them.
+func (d *Device) CopyOut(b *Buffer, host *tensor.Matrix) float64 {
+	if b.isFreed() {
+		panic("device: CopyOut of freed buffer")
+	}
+	if d.Numeric {
+		if host == nil {
+			panic("device: CopyOut with nil host matrix on a numeric device")
+		}
+		host.CopyFrom(b.Mat)
+	}
+	ready := b.ready()
+	if cb := d.compute.BusyUntil(); cb > ready {
+		ready = cb
+	}
+	dur := d.Arch.TransferTime(b.bytes)
+	start, end := d.transfer.Schedule(ready, dur)
+	d.transfers++
+	d.moved += b.bytes
+	d.trace.add(TraceEvent{Name: fmt.Sprintf("copy-out %d B", b.bytes), Engine: "transfer", Start: start, End: end})
+	return end
+}
+
+// Exec schedules the kernel described by op on the compute engine, waiting
+// for every dependency buffer to be ready, and runs fn when the device is
+// numeric. Buffers written by the kernel get the kernel's end time as their
+// new ready time (pass them in deps too if the kernel also reads them).
+func (d *Device) Exec(op sim.Op, deps []*Buffer, writes []*Buffer, fn func()) {
+	ready := 0.0
+	for _, b := range deps {
+		if b == nil {
+			continue
+		}
+		if b.isFreed() {
+			panic("device: Exec depends on freed buffer")
+		}
+		if r := b.ready(); r > ready {
+			ready = r
+		}
+	}
+	dur := d.Arch.OpTime(op)
+	start, end := d.compute.Schedule(ready, dur)
+	for _, b := range writes {
+		if b == nil {
+			continue
+		}
+		b.readyAt = end
+	}
+	d.ops++
+	d.flops += op.Flops()
+	d.trace.add(TraceEvent{Name: opName(op), Engine: "compute", Start: start, End: end})
+	if d.Numeric && fn != nil {
+		fn()
+	}
+}
+
+// Branch is one arm of a concurrent kernel group (a node set of the
+// paper's Fig. 6 dependency graph whose members have no edges between
+// them).
+type Branch struct {
+	Op     sim.Op
+	Deps   []*Buffer
+	Writes []*Buffer
+	Fn     func()
+}
+
+// ExecConcurrent schedules the branches to run at the same time on the
+// compute engine, splitting the physical cores evenly between them, and
+// charges the fork/join synchronization once for the whole group. This
+// models the paper's Fig. 6 optimization: independent matrix operations of
+// the RBM gradient (e.g. Vb, Vc and Vw after H2) execute concurrently, so
+// their launch overheads overlap. On a numeric device the branch functions
+// run sequentially in issue order — they are independent by contract, so
+// results are identical; only the simulated timing reflects concurrency.
+func (d *Device) ExecConcurrent(branches []Branch) {
+	if len(branches) == 0 {
+		return
+	}
+	if len(branches) == 1 {
+		b := branches[0]
+		d.Exec(b.Op, b.Deps, b.Writes, b.Fn)
+		return
+	}
+	k := len(branches)
+	ready := make([]float64, k)
+	durs := make([]float64, k)
+	// First pass: full-device durations, used to split the cores between
+	// the branches in proportion to their work (a big GEMM paired with a
+	// tiny reduction should keep nearly all the cores).
+	full := make([]float64, k)
+	totalFull := 0.0
+	for i := range branches {
+		op := branches[i].Op
+		op.Fused = true // overhead handled below
+		full[i] = d.Arch.OpTime(op)
+		totalFull += full[i]
+	}
+	for i := range branches {
+		b := &branches[i]
+		for _, dep := range b.Deps {
+			if dep == nil {
+				continue
+			}
+			if dep.isFreed() {
+				panic("device: ExecConcurrent depends on freed buffer")
+			}
+			if r := dep.ready(); r > ready[i] {
+				ready[i] = r
+			}
+		}
+		op := b.Op
+		cores := op.Cores
+		if cores <= 0 {
+			if op.Level.IsParallel() {
+				cores = d.Arch.Cores
+			} else {
+				cores = 1
+			}
+		}
+		if op.Level.IsParallel() && totalFull > 0 && k > 1 {
+			share := int(float64(cores) * full[i] / totalFull)
+			if share < 1 {
+				share = 1
+			}
+			if share > cores {
+				share = cores
+			}
+			op.Cores = share
+		}
+		// One fork/join for the whole group.
+		op.Fused = i > 0
+		durs[i] = d.Arch.OpTime(op)
+		d.ops++
+		d.flops += op.Flops()
+	}
+	groupStart := d.compute.BusyUntil()
+	end := d.compute.ScheduleGroup(ready, durs)
+	if d.trace != nil {
+		for i := range branches {
+			start := groupStart
+			if ready[i] > start {
+				start = ready[i]
+			}
+			d.trace.add(TraceEvent{Name: opName(branches[i].Op) + " (concurrent)", Engine: "compute", Start: start, End: start + durs[i]})
+		}
+	}
+	for i := range branches {
+		for _, w := range branches[i].Writes {
+			if w != nil {
+				w.readyAt = end
+			}
+		}
+	}
+	if d.Numeric {
+		for i := range branches {
+			if branches[i].Fn != nil {
+				branches[i].Fn()
+			}
+		}
+	}
+}
+
+// Now returns the simulated time at which all issued work completes.
+func (d *Device) Now() float64 {
+	t := d.compute.BusyUntil()
+	if tr := d.transfer.BusyUntil(); tr > t {
+		t = tr
+	}
+	return t
+}
+
+// ComputeBusyUntil returns the completion time of the compute engine alone.
+func (d *Device) ComputeBusyUntil() float64 { return d.compute.BusyUntil() }
+
+// TransferBusyUntil returns the completion time of the transfer engine.
+func (d *Device) TransferBusyUntil() float64 { return d.transfer.BusyUntil() }
+
+// Stats summarizes device activity since creation or the last ResetTime.
+type Stats struct {
+	Ops           int     // kernel launches
+	Transfers     int     // PCIe transfers
+	Flops         float64 // modeled flops executed
+	BytesMoved    int64   // PCIe bytes moved
+	ComputeBusy   float64 // seconds the compute engine was busy
+	TransferBusy  float64 // seconds the transfer engine was busy
+	Makespan      float64 // completion time of all work
+	PeakAllocated int64   // high-water device memory
+}
+
+// Stats returns a snapshot of the device's activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Ops:           d.ops,
+		Transfers:     d.transfers,
+		Flops:         d.flops,
+		BytesMoved:    d.moved,
+		ComputeBusy:   d.compute.BusyTotal(),
+		TransferBusy:  d.transfer.BusyTotal(),
+		Makespan:      d.Now(),
+		PeakAllocated: d.peakAlloc,
+	}
+}
+
+// ResetTime rewinds both engines and the activity counters to zero while
+// keeping allocations; buffers' ready times are stale afterwards, so only
+// call this between independent runs that rewrite their inputs.
+func (d *Device) ResetTime() {
+	d.compute.Reset()
+	d.transfer.Reset()
+	d.ops, d.transfers = 0, 0
+	d.flops, d.moved = 0, 0
+}
+
+// Allocated returns the current device memory in use.
+func (d *Device) Allocated() int64 { return d.allocated }

@@ -1,0 +1,114 @@
+package device
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"phideep/internal/kernels"
+	"phideep/internal/sim"
+)
+
+func TestTraceRecordsActivities(t *testing.T) {
+	d := New(sim.XeonPhi5110P(), false, nil)
+	d.EnableTrace(0)
+	b := d.MustAlloc(10, 10)
+	d.CopyIn(b, nil, 0)
+	d.Exec(sim.Op{Kind: sim.OpGemm, M: 10, K: 10, N: 10, Level: kernels.ParallelBlocked, Vector: true},
+		[]*Buffer{b}, []*Buffer{b}, nil)
+	d.CopyOut(b, nil)
+
+	events, dropped := d.Trace()
+	if dropped != 0 {
+		t.Fatalf("dropped %d", dropped)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Engine != "transfer" || !strings.Contains(events[0].Name, "copy-in") {
+		t.Fatalf("event 0: %+v", events[0])
+	}
+	if events[1].Engine != "compute" || !strings.Contains(events[1].Name, "gemm 10x10x10") {
+		t.Fatalf("event 1: %+v", events[1])
+	}
+	if events[2].Engine != "transfer" || !strings.Contains(events[2].Name, "copy-out") {
+		t.Fatalf("event 2: %+v", events[2])
+	}
+	// The kernel must start after its input transfer completes.
+	if events[1].Start < events[0].End {
+		t.Fatal("kernel started before its input was ready")
+	}
+	for _, e := range events {
+		if e.End < e.Start {
+			t.Fatalf("negative duration: %+v", e)
+		}
+	}
+}
+
+func TestTraceLimitAndDisabled(t *testing.T) {
+	d := New(sim.XeonPhi5110P(), false, nil)
+	// Disabled: no events, no panic.
+	d.Exec(sim.Op{Kind: sim.OpElem, Elems: 10, Level: kernels.Naive}, nil, nil, nil)
+	if ev, _ := d.Trace(); ev != nil {
+		t.Fatal("events recorded while disabled")
+	}
+	d.EnableTrace(2)
+	for i := 0; i < 5; i++ {
+		d.Exec(sim.Op{Kind: sim.OpElem, Elems: 10, Level: kernels.Naive}, nil, nil, nil)
+	}
+	ev, dropped := d.Trace()
+	if len(ev) != 2 || dropped != 3 {
+		t.Fatalf("limit handling: %d events, %d dropped", len(ev), dropped)
+	}
+}
+
+func TestTraceConcurrentGroup(t *testing.T) {
+	d := New(sim.XeonPhi5110P(), false, nil)
+	d.EnableTrace(0)
+	a := d.MustAlloc(100, 100)
+	c := d.MustAlloc(100, 100)
+	op := sim.Op{Kind: sim.OpGemm, M: 100, K: 100, N: 100, Level: kernels.ParallelBlocked, Vector: true}
+	d.ExecConcurrent([]Branch{
+		{Op: op, Writes: []*Buffer{a}},
+		{Op: op, Writes: []*Buffer{c}},
+	})
+	ev, _ := d.Trace()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for _, e := range ev {
+		if !strings.Contains(e.Name, "concurrent") {
+			t.Fatalf("missing concurrent tag: %+v", e)
+		}
+	}
+	// Concurrent branches share a start window.
+	if ev[0].Start != ev[1].Start {
+		t.Fatalf("branches not concurrent: %g vs %g", ev[0].Start, ev[1].Start)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	d := New(sim.XeonPhi5110P(), false, nil)
+	d.EnableTrace(0)
+	b := d.MustAlloc(5, 5)
+	d.CopyIn(b, nil, 0)
+	d.Exec(sim.Op{Kind: sim.OpElem, Elems: 25, Level: kernels.Parallel}, []*Buffer{b}, nil, nil)
+
+	var sb strings.Builder
+	if err := d.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("got %d chrome events", len(parsed))
+	}
+	if parsed[0]["ph"] != "X" || parsed[0]["tid"].(float64) != 2 {
+		t.Fatalf("transfer event malformed: %+v", parsed[0])
+	}
+	if parsed[1]["tid"].(float64) != 1 {
+		t.Fatalf("compute event malformed: %+v", parsed[1])
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phideep/internal/core"
+	"phideep/internal/sim"
+)
+
+// ablationBase is the shared workload for the design-choice ablations: the
+// Fig. 7 mid-size Autoencoder (1024×4096, batch 1000) over 100 k examples
+// on the Phi.
+func ablationBase() Job {
+	arch, lvl := phiImproved()
+	return Job{
+		Arch: arch, Level: lvl,
+		Model: AE, Visible: 1024, Hidden: 4096,
+		Batch: 1000, DatasetExamples: 100000, Epochs: 1,
+		Prefetch: true, Seed: 3,
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+// AblationVectorization isolates the VPU: the Improved configuration with
+// and without 512-bit vectorization of the kernels (Eqs. 14–18 and the
+// GEMMs).
+func AblationVectorization() *Table {
+	t := &Table{
+		Title:   "Ablation: VPU vectorization (Eqs. 14-18) on Xeon Phi",
+		Note:    "AE 1024 x 4096, batch 1000, 100 k examples",
+		Columns: []string{"configuration", "time", "slowdown vs vectorized"},
+	}
+	on := ablationBase()
+	off := ablationBase()
+	off.Vector = boolPtr(false)
+	tOn := on.MustRun().SimSeconds
+	tOff := off.MustRun().SimSeconds
+	t.AddRow("512-bit VPU kernels", secs(tOn), ratio(1))
+	t.AddRow("scalar kernels", secs(tOff), ratio(tOff/tOn))
+	return t
+}
+
+// AblationLoopFusion isolates §IV.B.2's loop combining: Improved with and
+// without fused parallel regions.
+func AblationLoopFusion() *Table {
+	t := &Table{
+		Title:   "Ablation: loop fusion (parallel-region granularity, §IV.B.2)",
+		Note:    "AE 1024 x 4096, batch 1000, 100 k examples",
+		Columns: []string{"configuration", "time", "slowdown vs fused"},
+	}
+	fused := ablationBase()
+	unfused := ablationBase()
+	unfused.Fuse = boolPtr(false)
+	tF := fused.MustRun().SimSeconds
+	tU := unfused.MustRun().SimSeconds
+	t.AddRow("fused regions", secs(tF), ratio(1))
+	t.AddRow("one region per loop", secs(tU), ratio(tU/tF))
+	return t
+}
+
+// AblationPrefetch isolates the Fig. 5 loading thread (same measurement as
+// Fig5Overlap, reduced to the headline pair).
+func AblationPrefetch() *Table {
+	t := &Table{
+		Title:   "Ablation: loading-thread prefetch (Fig. 5)",
+		Note:    "AE 4096 x 1024, chunks of 10000, 100 k examples, batch 1000",
+		Columns: []string{"configuration", "time", "slowdown vs prefetch"},
+	}
+	arch, lvl := phiImproved()
+	base := Job{
+		Arch: arch, Level: lvl,
+		Model: AE, Visible: 4096, Hidden: 1024,
+		Batch: 1000, DatasetExamples: 100000, Epochs: 1,
+		ChunkExamples: 10000, Seed: 5,
+	}
+	pre := base
+	pre.Prefetch = true
+	pre.BufferDepth = 2
+	sync := base
+	sync.Prefetch = false
+	sync.BufferDepth = 1
+	tP := pre.MustRun().SimSeconds
+	tS := sync.MustRun().SimSeconds
+	t.AddRow("loading thread + double buffer", secs(tP), ratio(1))
+	t.AddRow("synchronous transfers", secs(tS), ratio(tS/tP))
+	return t
+}
+
+// AblationRBMDependencyGraph isolates the Fig. 6 concurrent scheduling of
+// independent RBM gradient operations.
+func AblationRBMDependencyGraph() *Table {
+	t := &Table{
+		Title:   "Ablation: Fig. 6 dependency-graph scheduling of the RBM gradient",
+		Note:    "RBM 1024 x 4096, batch 200, 100 k examples",
+		Columns: []string{"configuration", "time", "slowdown vs concurrent"},
+	}
+	arch, lvl := phiImproved()
+	base := Job{
+		Arch: arch, Level: lvl,
+		Model: RBM, Visible: 1024, Hidden: 4096,
+		Batch: 200, DatasetExamples: 100000, Epochs: 1,
+		Prefetch: true, Seed: 6,
+	}
+	serial := base
+	serial.Concurrent = boolPtr(false)
+	tC := base.MustRun().SimSeconds
+	tS := serial.MustRun().SimSeconds
+	t.AddRow("concurrent independent ops", secs(tC), ratio(1))
+	t.AddRow("strictly serial op order", secs(tS), ratio(tS/tC))
+	return t
+}
+
+// AblationThreadsPerCore sweeps the hardware threads used per Phi core.
+// The in-order cores need two threads to fill the pipeline (§II.C), while
+// four threads add synchronization cost faster than issue benefit on this
+// workload — the "balance between parallelism and synchronization" of the
+// paper's future work.
+func AblationThreadsPerCore() *Table {
+	t := &Table{
+		Title:   "Ablation: hardware threads per Xeon Phi core",
+		Note:    "AE 1024 x 4096, batch 1000, 100 k examples, 60 cores",
+		Columns: []string{"threads/core", "software threads", "time"},
+	}
+	for _, tpc := range []int{1, 2, 3, 4} {
+		j := ablationBase()
+		j.ThreadsPerCore = tpc
+		res := j.MustRun()
+		t.AddRow(fmt.Sprintf("%d", tpc), fmt.Sprintf("%d", 60*tpc), secs(res.SimSeconds))
+	}
+	return t
+}
+
+// AblationCoreCount sweeps the physical cores at the Improved level,
+// extending Table I's 60-vs-30 column pair into a scaling curve.
+func AblationCoreCount() *Table {
+	t := &Table{
+		Title:   "Ablation: core-count scaling at the fully-optimized level",
+		Note:    "AE 1024 x 4096, batch 1000, 100 k examples",
+		Columns: []string{"cores", "time", "speedup vs 1 core"},
+	}
+	var t1 float64
+	for _, cores := range []int{1, 8, 15, 30, 45, 60} {
+		j := ablationBase()
+		j.Cores = cores
+		res := j.MustRun()
+		if cores == 1 {
+			t1 = res.SimSeconds
+		}
+		t.AddRow(fmt.Sprintf("%d", cores), secs(res.SimSeconds), ratio(t1/res.SimSeconds))
+	}
+	return t
+}
+
+// AblationHostComparison situates the Phi against every host model in one
+// table: the abstract's "7 to 10 times faster than the Intel Xeon CPU" is
+// the full-chip row; Fig. 10's ≈16× is the Matlab row.
+func AblationHostComparison() *Table {
+	t := &Table{
+		Title:   "Platform comparison at the fully-optimized level",
+		Note:    "AE 1024 x 4096, batch 10000, 1 M examples",
+		Columns: []string{"platform", "time", "Phi speedup"},
+	}
+	base := Job{
+		Model: AE, Visible: 1024, Hidden: 4096,
+		Batch: 10000, DatasetExamples: 1000000, Epochs: 1,
+		Prefetch: true, Seed: 4,
+	}
+	phiArch, phiLvl := phiImproved()
+	phi := base
+	phi.Arch, phi.Level = phiArch, phiLvl
+	tPhi := phi.MustRun().SimSeconds
+
+	rows := []struct {
+		name string
+		arch *sim.Arch
+	}{
+		{"Xeon E5620, 1 core (sequential optimized)", sim.XeonE5620Core()},
+		{"Xeon E5620, 4 cores + vendor BLAS", sim.XeonE5620Full()},
+		{"2x Xeon E5620, 8 cores + vendor BLAS", sim.XeonE5620Dual()},
+		{"Matlab R2012a on host", sim.MatlabR2012a()},
+		{"Tesla K20X (GPU model, cuBLAS-grade)", sim.TeslaK20X()},
+	}
+	for _, r := range rows {
+		j := base
+		j.Arch, j.Level = r.arch, core.OpenMPMKL
+		tj := j.MustRun().SimSeconds
+		t.AddRow(r.name, secs(tj), ratio(tj/tPhi))
+	}
+	t.AddRow("Xeon Phi 5110P (fully optimized)", secs(tPhi), ratio(1))
+	return t
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"phideep/internal/core"
+)
+
+// cell parses a formatted table cell ("97.5 s", "55.9 ms", "16.4x") into a
+// float in base units.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSpace(tab.Rows[row][col])
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, " ms"):
+		s, mult = strings.TrimSuffix(s, " ms"), 1e-3
+	case strings.HasSuffix(s, " µs"):
+		s, mult = strings.TrimSuffix(s, " µs"), 1e-6
+	case strings.HasSuffix(s, " s"):
+		s = strings.TrimSuffix(s, " s")
+	case strings.HasSuffix(s, "x"):
+		s = strings.TrimSuffix(s, "x")
+	case strings.HasSuffix(s, "%"):
+		s = strings.TrimSuffix(s, "%")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q at (%d, %d) of %q", tab.Rows[row][col], row, col, tab.Title)
+	}
+	return v * mult
+}
+
+// within asserts got ∈ [lo, hi].
+func within(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %g, want within [%g, %g]", name, got, lo, hi)
+	}
+}
+
+// TestTable1MatchesPaper asserts the central result: the Table I ladder
+// lands near the paper's measurements — 16042/892/97/53 s at 60 cores,
+// ≈302× and ≈197× speedups — within ±20%.
+func TestTable1MatchesPaper(t *testing.T) {
+	tab := Table1()
+	paper60 := []float64{16042, 892, 97, 53}
+	for i, want := range paper60 {
+		got := cell(t, tab, i, 1)
+		within(t, tab.Rows[i][0]+" (60 cores)", got, 0.8*want, 1.2*want)
+	}
+	within(t, "speedup 60 cores", cell(t, tab, 4, 1), 0.8*302, 1.2*302)
+	within(t, "speedup 30 cores", cell(t, tab, 4, 2), 0.8*197, 1.2*197)
+	// Improved at 30 cores: paper 81 s.
+	within(t, "Improved (30 cores)", cell(t, tab, 3, 2), 0.8*81, 1.2*81)
+	// Ladder monotone at 60 cores.
+	for i := 1; i < 4; i++ {
+		if !(cell(t, tab, i, 1) < cell(t, tab, i-1, 1)) {
+			t.Errorf("60-core ladder not monotone at row %d", i)
+		}
+	}
+}
+
+// TestFig7Shape asserts the network-size findings: CPU time grows steeply
+// (≈ linearly in the weight count), Phi time grows mildly, and the gap is
+// small for small networks and large for large ones.
+func TestFig7Shape(t *testing.T) {
+	for _, kind := range []ModelKind{AE, RBM} {
+		tab := Fig7(kind)
+		cpuSmall, cpuLarge := cell(t, tab, 0, 1), cell(t, tab, 3, 1)
+		phiSmall, phiLarge := cell(t, tab, 0, 2), cell(t, tab, 3, 2)
+		spSmall, spLarge := cell(t, tab, 0, 3), cell(t, tab, 3, 3)
+
+		// Weight count grows 576*1024 → 4096*16384 ≈ 114×; CPU time should
+		// grow within a factor of ~2 of linearly, Phi much less.
+		weightRatio := float64(4096*16384) / float64(576*1024)
+		cpuGrowth := cpuLarge / cpuSmall
+		phiGrowth := phiLarge / phiSmall
+		within(t, string(kind)+" CPU growth vs weights", cpuGrowth/weightRatio, 0.5, 2)
+		if !(phiGrowth < cpuGrowth/3) {
+			t.Errorf("%s: Phi growth %g not mild vs CPU growth %g", kind, phiGrowth, cpuGrowth)
+		}
+		if !(spSmall < spLarge/4) {
+			t.Errorf("%s: speedup gap small→large %gx→%gx lacks the paper's spread", kind, spSmall, spLarge)
+		}
+		if spSmall < 1 {
+			t.Errorf("%s: Phi slower than one CPU core even at the smallest network (%gx)", kind, spSmall)
+		}
+	}
+}
+
+// TestFig8Shape asserts the dataset-size findings: CPU time grows linearly
+// with the dataset while the Phi's absolute increase stays small on the
+// same scale ("the time cost by Intel Xeon Phi does not change much").
+func TestFig8Shape(t *testing.T) {
+	for _, kind := range []ModelKind{AE, RBM} {
+		tab := Fig8(kind)
+		cpu1, cpu5 := cell(t, tab, 0, 1), cell(t, tab, 4, 1)
+		phi1, phi5 := cell(t, tab, 0, 2), cell(t, tab, 4, 2)
+		within(t, string(kind)+" CPU linearity", (cpu5/cpu1)/10, 0.8, 1.2)
+		// The Phi increase is invisible on the CPU chart's scale: less
+		// than 5% of the CPU increase.
+		if !(phi5-phi1 < 0.05*(cpu5-cpu1)) {
+			t.Errorf("%s: Phi grew %g s vs CPU %g s — not flat on the paper's scale", kind, phi5-phi1, cpu5-cpu1)
+		}
+	}
+}
+
+// TestFig9Shape asserts the batch-size findings: on the Phi the time drops
+// by roughly two thirds from batch 200 to 10000 (the paper's words for the
+// AE), while the single CPU core barely moves.
+func TestFig9Shape(t *testing.T) {
+	for _, kind := range []ModelKind{AE, RBM} {
+		tab := Fig9(kind)
+		cpu200, cpu10k := cell(t, tab, 0, 1), cell(t, tab, 5, 1)
+		phi200, phi10k := cell(t, tab, 0, 2), cell(t, tab, 5, 2)
+		drop := 1 - phi10k/phi200
+		within(t, string(kind)+" Phi drop 200→10000", drop, 0.5, 0.95)
+		cpuDrop := 1 - cpu10k/cpu200
+		if !(cpuDrop < 0.2) {
+			t.Errorf("%s: CPU drop %g should be small", kind, cpuDrop)
+		}
+		// Phi time must fall monotonically with batch size.
+		for i := 1; i < len(Fig9Batches); i++ {
+			if !(cell(t, tab, i, 2) < cell(t, tab, i-1, 2)) {
+				t.Errorf("%s: Phi time not monotone at batch %d", kind, Fig9Batches[i])
+			}
+		}
+	}
+}
+
+// TestFig10Shape asserts the Matlab comparison: ≈16× at the paper-scale
+// network (±30%), and the Phi wins at every geometry.
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10()
+	within(t, "Matlab speedup at 576x1024", cell(t, tab, 0, 3), 16*0.7, 16*1.3)
+	for i := range tab.Rows {
+		if sp := cell(t, tab, i, 3); sp < 10 {
+			t.Errorf("row %d: Phi only %gx over Matlab", i, sp)
+		}
+	}
+}
+
+// TestFig5OverlapShape asserts the §IV.A claim: without the loading thread
+// transfers cost ≈17% of the total (we accept 10–25%), and the double
+// buffer recovers most of it.
+func TestFig5OverlapShape(t *testing.T) {
+	tab := Fig5Overlap()
+	sync := cell(t, tab, 0, 1)
+	double := cell(t, tab, 1, 1)
+	share := cell(t, tab, 0, 3)
+	within(t, "transfer share without overlap", share, 10, 25)
+	saved := (sync - double) / sync * 100
+	within(t, "time recovered by the loading thread (%)", saved, 8, 25)
+	quad := cell(t, tab, 2, 1)
+	if quad > double+1e-9 {
+		t.Errorf("4 buffers (%g) slower than 2 (%g)", quad, double)
+	}
+}
+
+// TestAblationShapes sanity-checks every ablation's direction and rough
+// magnitude.
+func TestAblationShapes(t *testing.T) {
+	if v := cell(t, AblationVectorization(), 1, 2); v < 2 || v > 16 {
+		t.Errorf("vectorization slowdown %gx implausible", v)
+	}
+	if v := cell(t, AblationLoopFusion(), 1, 2); v < 1.1 || v > 4 {
+		t.Errorf("fusion slowdown %gx implausible", v)
+	}
+	if v := cell(t, AblationPrefetch(), 1, 2); v < 1.05 || v > 2 {
+		t.Errorf("prefetch slowdown %gx implausible", v)
+	}
+	if v := cell(t, AblationRBMDependencyGraph(), 1, 2); v < 1.05 || v > 3 {
+		t.Errorf("Fig. 6 slowdown %gx implausible", v)
+	}
+	tpc := AblationThreadsPerCore()
+	if !(cell(t, tpc, 0, 2) > cell(t, tpc, 1, 2)) {
+		t.Error("one thread per core should be slower than two (in-order issue)")
+	}
+	cores := AblationCoreCount()
+	if sp := cell(t, cores, 5, 2); sp < 10 || sp > 60 {
+		t.Errorf("60-core scaling %gx outside sublinear band", sp)
+	}
+	hosts := AblationHostComparison()
+	within(t, "Phi vs dual-socket Xeon", cell(t, hosts, 2, 2), 7, 13)
+	within(t, "Phi vs Matlab", cell(t, hosts, 3, 2), 12, 30)
+	// The GPU comparator lands in the same class as the Phi (the paper's
+	// positioning: comparable speed, Phi more general-purpose).
+	within(t, "Phi vs GPU", cell(t, hosts, 4, 2), 0.5, 2)
+}
+
+// TestJobValidation covers the harness error paths.
+func TestJobValidation(t *testing.T) {
+	arch, lvl := phiImproved()
+	if _, err := (Job{Arch: arch, Level: lvl, Model: "bogus", Visible: 8, Hidden: 8, Batch: 2, DatasetExamples: 10, Epochs: 1}).Run(); err == nil {
+		t.Error("unknown model kind must fail")
+	}
+	if _, err := (Job{Arch: arch, Level: lvl, Model: AE, Visible: 0, Hidden: 8, Batch: 2, DatasetExamples: 10, Epochs: 1}).Run(); err == nil {
+		t.Error("invalid geometry must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun must panic on failure")
+		}
+	}()
+	Job{Arch: arch, Level: lvl, Model: "bogus", Visible: 8, Hidden: 8, Batch: 2, DatasetExamples: 10, Epochs: 1}.MustRun()
+}
+
+// TestJobDeterminism: identical jobs give identical simulated times.
+func TestJobDeterminism(t *testing.T) {
+	arch, lvl := phiImproved()
+	j := Job{Arch: arch, Level: lvl, Model: RBM, Visible: 64, Hidden: 32, Batch: 8, DatasetExamples: 64, Epochs: 2, Prefetch: true, Seed: 5}
+	a := j.MustRun().SimSeconds
+	b := j.MustRun().SimSeconds
+	if a != b {
+		t.Fatalf("job not deterministic: %g vs %g", a, b)
+	}
+}
+
+// TestTableRendering covers the table writer against golden fragments.
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Note:    "n",
+		Columns: []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333") // short row padded
+	s := tab.String()
+	for _, want := range []string{"T\n", "(n)", "a", "bb", "333"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, s)
+		}
+	}
+	var csv strings.Builder
+	tab.WriteCSV(&csv)
+	if !strings.Contains(csv.String(), "a,bb") || !strings.Contains(csv.String(), "# T") {
+		t.Errorf("CSV malformed:\n%s", csv.String())
+	}
+	// CSV escaping.
+	tab2 := &Table{Title: "x", Columns: []string{`he,llo`, `qu"ote`}}
+	tab2.AddRow("v1", "v2")
+	var csv2 strings.Builder
+	tab2.WriteCSV(&csv2)
+	if !strings.Contains(csv2.String(), `"he,llo"`) || !strings.Contains(csv2.String(), `"qu""ote"`) {
+		t.Errorf("CSV escaping wrong:\n%s", csv2.String())
+	}
+}
+
+func TestSecsFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1234:    "1234 s",
+		12.34:   "12.3 s",
+		0.01234: "12.3 ms",
+		1.2e-5:  "12.0 µs",
+	}
+	for in, want := range cases {
+		if got := secs(in); got != want {
+			t.Errorf("secs(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if ratio(2.5) != "2.5x" {
+		t.Error("ratio formatting")
+	}
+}
+
+// TestRunTable1CellAgainstJobPath cross-checks the Table1 stacked-run path
+// against three equivalent single-layer jobs: the stacked total must exceed
+// any single layer and be below their padded sum.
+func TestRunTable1CellAgainstJobPath(t *testing.T) {
+	w := DefaultTable1Workload()
+	w.IterationsPerLayer = 20 // keep the test fast
+	total := RunTable1Cell(w, core.Improved, 60)
+	if total <= 0 || math.IsNaN(total) {
+		t.Fatalf("bad total %g", total)
+	}
+	// First layer alone, same protocol.
+	arch, _ := phiImproved()
+	first := Job{
+		Arch: arch, Level: core.Improved, Model: AE,
+		Visible: 1024, Hidden: 512, Batch: w.Batch,
+		DatasetExamples: w.DatasetExamples, Iterations: w.IterationsPerLayer,
+		ChunkExamples: w.ChunkExamples, Prefetch: true, Seed: 1,
+	}.MustRun().SimSeconds
+	if !(total > first) {
+		t.Errorf("stack total %g not larger than first layer %g", total, first)
+	}
+	if !(total < 3*first) {
+		t.Errorf("stack total %g implausibly large vs first layer %g (later layers are smaller)", total, first)
+	}
+}
+
+// TestBatchMethodsShape reproduces §III: batch methods (L-BFGS, CG) make
+// far fewer parameter updates per dataset pass, and online SGD reaches at
+// least as good an objective in no more simulated time.
+func TestBatchMethodsShape(t *testing.T) {
+	tab := BatchMethods()
+	sgdUpdates := cell(t, tab, 0, 1)
+	lbfgsUpdates := cell(t, tab, 1, 1)
+	if !(lbfgsUpdates < sgdUpdates/4) {
+		t.Errorf("batch method made %g updates vs SGD's %g — not 'much more computation per update'", lbfgsUpdates, sgdUpdates)
+	}
+	sgdCost, sgdTime := cell(t, tab, 0, 3), cell(t, tab, 0, 4)
+	for i := 1; i < len(tab.Rows); i++ {
+		cost, time := cell(t, tab, i, 3), cell(t, tab, i, 4)
+		if cost < sgdCost*0.95 && time < sgdTime {
+			t.Errorf("%s beat SGD on both axes — §III trade-off not reproduced", tab.Rows[i][0])
+		}
+	}
+}
+
+// TestClusterVsPhiShape asserts the positioning result: per-step averaging
+// over 1 GbE loses to a single node on the fat model; relaxed-sync clusters
+// scale but one Phi still beats the 16-node configuration.
+func TestClusterVsPhiShape(t *testing.T) {
+	tab := ClusterVsPhi()
+	one := cell(t, tab, 0, 1)
+	syncEvery := cell(t, tab, 1, 1)
+	relaxed16 := cell(t, tab, 3, 1)
+	phi := cell(t, tab, 4, 1)
+	if !(syncEvery > one) {
+		t.Errorf("per-step sync cluster (%g) should lose to one node (%g)", syncEvery, one)
+	}
+	if !(relaxed16 < one) {
+		t.Errorf("16-node relaxed cluster (%g) should beat one node (%g)", relaxed16, one)
+	}
+	if !(phi < relaxed16) {
+		t.Errorf("one Phi (%g) should beat the 16-node GbE cluster (%g)", phi, relaxed16)
+	}
+}

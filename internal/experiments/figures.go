@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phideep/internal/core"
+	"phideep/internal/sim"
+)
+
+// NetworkSize is one visible×hidden geometry of the Fig. 7 sweep.
+type NetworkSize struct{ Visible, Hidden int }
+
+func (n NetworkSize) String() string { return fmt.Sprintf("%d x %d", n.Visible, n.Hidden) }
+
+// Fig7Networks are the four geometries of the paper's network-size sweep
+// ("from 576*1024 to 4096*16384").
+var Fig7Networks = []NetworkSize{
+	{576, 1024},
+	{1024, 4096},
+	{2048, 8192},
+	{4096, 16384},
+}
+
+// Fig7 reproduces the network-size sweep of Fig. 7: the fully optimized
+// algorithm on one host CPU core versus the Xeon Phi, for growing network
+// sizes. kind selects Fig. 7(a) (AE: 1 M examples, batch 1000) or
+// Fig. 7(b) (RBM: 100 k examples, batch 200).
+func Fig7(kind ModelKind) *Table {
+	batch, dataset := 1000, 1000000
+	if kind == RBM {
+		batch, dataset = 200, 100000
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 7 (%s): impact of network size — single CPU core vs Xeon Phi", kind),
+		Note:    fmt.Sprintf("one pass over %d examples, batch %d; simulated time", dataset, batch),
+		Columns: []string{"network (v x h)", "CPU 1-core", "Xeon Phi", "speedup"},
+	}
+	for _, n := range Fig7Networks {
+		cpuArch, cpuLvl := hostCore()
+		phiArch, phiLvl := phiImproved()
+		base := Job{
+			Model: kind, Visible: n.Visible, Hidden: n.Hidden,
+			Batch: batch, DatasetExamples: dataset, Epochs: 1,
+			Prefetch: true, Seed: 7,
+		}
+		cpu := base
+		cpu.Arch, cpu.Level = cpuArch, cpuLvl
+		phi := base
+		phi.Arch, phi.Level = phiArch, phiLvl
+		tc := cpu.MustRun().SimSeconds
+		tp := phi.MustRun().SimSeconds
+		t.AddRow(n.String(), secs(tc), secs(tp), ratio(tc/tp))
+	}
+	return t
+}
+
+// Fig8Datasets is the dataset-size sweep of Fig. 8 (the paper's axis labels
+// were not machine-readable; 100 k → 1 M spans its regime).
+var Fig8Datasets = []int{100000, 250000, 500000, 750000, 1000000}
+
+// Fig8 reproduces the dataset-size sweep of Fig. 8: network fixed at
+// 1024×4096, batch 1000, dataset size growing.
+func Fig8(kind ModelKind) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 8 (%s): impact of dataset size — single CPU core vs Xeon Phi", kind),
+		Note:    "network 1024 x 4096, batch 1000; simulated time",
+		Columns: []string{"examples", "CPU 1-core", "Xeon Phi", "speedup"},
+	}
+	for _, n := range Fig8Datasets {
+		cpuArch, cpuLvl := hostCore()
+		phiArch, phiLvl := phiImproved()
+		base := Job{
+			Model: kind, Visible: 1024, Hidden: 4096,
+			Batch: 1000, DatasetExamples: n, Epochs: 1,
+			Prefetch: true, Seed: 8,
+		}
+		cpu := base
+		cpu.Arch, cpu.Level = cpuArch, cpuLvl
+		phi := base
+		phi.Arch, phi.Level = phiArch, phiLvl
+		tc := cpu.MustRun().SimSeconds
+		tp := phi.MustRun().SimSeconds
+		t.AddRow(fmt.Sprintf("%d", n), secs(tc), secs(tp), ratio(tc/tp))
+	}
+	return t
+}
+
+// Fig9Batches is the batch-size sweep of Fig. 9 ("from 200 to 10000").
+var Fig9Batches = []int{200, 500, 1000, 2000, 5000, 10000}
+
+// Fig9 reproduces the batch-size sweep of Fig. 9: network 1024×4096,
+// dataset 100 k examples, batch size growing. Larger batches need fewer
+// updates for the fixed dataset and amortize per-launch overheads, so the
+// Phi time falls by roughly two thirds from 200 to 10 000.
+func Fig9(kind ModelKind) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 9 (%s): impact of batch size — single CPU core vs Xeon Phi", kind),
+		Note:    "network 1024 x 4096, dataset 100000 examples (one pass); simulated time",
+		Columns: []string{"batch", "CPU 1-core", "Xeon Phi", "speedup"},
+	}
+	for _, b := range Fig9Batches {
+		cpuArch, cpuLvl := hostCore()
+		phiArch, phiLvl := phiImproved()
+		base := Job{
+			Model: kind, Visible: 1024, Hidden: 4096,
+			Batch: b, DatasetExamples: 100000, Epochs: 1,
+			Prefetch: true, Seed: 9,
+		}
+		cpu := base
+		cpu.Arch, cpu.Level = cpuArch, cpuLvl
+		phi := base
+		phi.Arch, phi.Level = phiArch, phiLvl
+		tc := cpu.MustRun().SimSeconds
+		tp := phi.MustRun().SimSeconds
+		t.AddRow(fmt.Sprintf("%d", b), secs(tc), secs(tp), ratio(tc/tp))
+	}
+	return t
+}
+
+// Fig10 reproduces the Matlab comparison: the Autoencoder on the host's
+// Matlab (vendor-BLAS matrix ops, all four CPU cores, per-operation
+// interpreter overhead) versus the fully optimized Xeon Phi code, on 1 M
+// examples with minibatches of 10 000. The paper reports ≈16×.
+func Fig10() *Table {
+	t := &Table{
+		Title:   "Fig. 10: Matlab (host CPU) vs Xeon Phi — Sparse Autoencoder",
+		Note:    "1 M examples, batch 10000; simulated time",
+		Columns: []string{"network (v x h)", "Matlab", "Xeon Phi", "speedup"},
+	}
+	for _, n := range Fig7Networks {
+		base := Job{
+			Model: AE, Visible: n.Visible, Hidden: n.Hidden,
+			Batch: 10000, DatasetExamples: 1000000, Epochs: 1,
+			Prefetch: true, Seed: 10,
+		}
+		matlab := base
+		matlab.Arch, matlab.Level = sim.MatlabR2012a(), core.OpenMPMKL
+		phiArch, phiLvl := phiImproved()
+		phi := base
+		phi.Arch, phi.Level = phiArch, phiLvl
+		tm := matlab.MustRun().SimSeconds
+		tp := phi.MustRun().SimSeconds
+		t.AddRow(n.String(), secs(tm), secs(tp), ratio(tm/tp))
+	}
+	return t
+}
+
+// Fig5Overlap quantifies the loading-thread claim of §IV.A: without the
+// prefetching loading thread the PCIe transfers serialize with training
+// ("about 17% of the total time is spent on transferring training data");
+// with it they hide behind compute.
+func Fig5Overlap() *Table {
+	t := &Table{
+		Title:   "Fig. 5 / §IV.A: transfer overlap from the loading thread",
+		Note:    "AE 4096 x 1024, chunks of 10000 examples, 100 k examples, batch 1000",
+		Columns: []string{"configuration", "total", "transfer busy", "transfer share"},
+	}
+	phiArch, phiLvl := phiImproved()
+	base := Job{
+		Arch: phiArch, Level: phiLvl,
+		Model: AE, Visible: 4096, Hidden: 1024,
+		Batch: 1000, DatasetExamples: 100000, Epochs: 1,
+		ChunkExamples: 10000, Seed: 5,
+	}
+	for _, cfg := range []struct {
+		name     string
+		prefetch bool
+		depth    int
+	}{
+		{"synchronous transfers", false, 1},
+		{"loading thread + double buffer", true, 2},
+		{"loading thread + 4 buffers", true, 4},
+	} {
+		j := base
+		j.Prefetch = cfg.prefetch
+		j.BufferDepth = cfg.depth
+		res := j.MustRun()
+		share := res.Device.TransferBusy / res.SimSeconds
+		t.AddRow(cfg.name, secs(res.SimSeconds), secs(res.Device.TransferBusy), fmt.Sprintf("%.0f%%", 100*share))
+	}
+	return t
+}

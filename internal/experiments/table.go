@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V): the network-size, dataset-size and batch-size
+// sweeps of Figs. 7–9, the Matlab comparison of Fig. 10, the optimization
+// ladder of Table I, the transfer-overlap claim of §IV.A (Fig. 5), and the
+// ablations DESIGN.md calls out. Each runner returns a Table that prints
+// the same rows/series the paper reports; cmd/phibench and the root
+// bench_test.go are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, column headers, and rows
+// of formatted cells.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint writes an aligned text rendering of the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  (%s)\n", t.Note)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	seps := make([]string, len(t.Columns))
+	for i, width := range widths {
+		seps[i] = strings.Repeat("-", width)
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV writes the table as CSV (title and note as comment lines).
+func (t *Table) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "# %s\n", t.Note)
+	}
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// secs formats a simulated duration the way the paper's tables do.
+func secs(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.1f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.1f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1f µs", s*1e6)
+	}
+}
+
+// ratio formats a speedup factor.
+func ratio(r float64) string { return fmt.Sprintf("%.1fx", r) }

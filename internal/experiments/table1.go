@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phideep/internal/core"
+	"phideep/internal/data"
+	"phideep/internal/device"
+	"phideep/internal/sim"
+	"phideep/internal/stack"
+)
+
+// Table1Workload is the paper's Table I protocol: a four-layer stacked
+// Autoencoder (1024-512-256-128) pre-trained greedily, batch 10 000, 200
+// iterations per layer.
+type Table1Workload struct {
+	Sizes              []int
+	Batch              int
+	IterationsPerLayer int
+	ChunkExamples      int
+	DatasetExamples    int
+}
+
+// DefaultTable1Workload returns the paper's configuration.
+func DefaultTable1Workload() Table1Workload {
+	return Table1Workload{
+		Sizes:              []int{1024, 512, 256, 128},
+		Batch:              10000,
+		IterationsPerLayer: 200,
+		ChunkExamples:      100000,
+		DatasetExamples:    2000000,
+	}
+}
+
+// RunTable1Cell pre-trains the Table I stack at one optimization level and
+// core count, returning the simulated seconds.
+func RunTable1Cell(w Table1Workload, lvl core.OptLevel, cores int) float64 {
+	dev := device.New(sim.XeonPhi5110P(), false, nil)
+	ctx := core.NewContext(dev, lvl, cores, 1)
+	cfg := stack.Config{Sizes: w.Sizes, Lambda: 1e-4, Beta: 0.1, Rho: 0.05, Batch: w.Batch, LR: 0.1}
+	tc := core.TrainConfig{
+		Iterations:    w.IterationsPerLayer,
+		LR:            0.1,
+		ChunkExamples: w.ChunkExamples,
+		BufferDepth:   2,
+		Prefetch:      true,
+	}
+	res, err := stack.PretrainAutoencoders(ctx, tc, cfg, data.Null{D: w.Sizes[0], N: w.DatasetExamples}, 1)
+	if err != nil {
+		panic(err)
+	}
+	return res.SimSeconds
+}
+
+// Table1 reproduces the paper's Table I: the time of the full pre-training
+// after each optimization step, with 60 and with 30 Phi cores, plus the
+// fully-optimized-over-baseline speedup row. Paper values (60 / 30 cores):
+// Baseline ≈16042 s / 15960 s, OpenMP ≈892 s, OpenMP+MKL ≈97 s, Improved
+// ≈53 s / 81 s, speedup ≈302× / ≈197×.
+func Table1() *Table {
+	w := DefaultTable1Workload()
+	t := &Table{
+		Title:   "Table I: performance after each optimization step on Xeon Phi",
+		Note:    "4-layer stacked AE 1024-512-256-128, batch 10000, 200 iterations/layer; simulated time",
+		Columns: []string{"optimization step", "60 cores", "30 cores"},
+	}
+	var times [4][2]float64
+	for i, lvl := range core.OptLevels {
+		for c, cores := range []int{60, 30} {
+			times[i][c] = RunTable1Cell(w, lvl, cores)
+		}
+		t.AddRow(lvl.String(), secs(times[i][0]), secs(times[i][1]))
+	}
+	t.AddRow("Speedup (fully-optimized vs baseline)",
+		fmt.Sprintf("%.0fx", times[0][0]/times[3][0]),
+		fmt.Sprintf("%.0fx", times[0][1]/times[3][1]))
+	return t
+}

@@ -1,0 +1,269 @@
+package kernels
+
+import (
+	"fmt"
+
+	"phideep/internal/parallel"
+	"phideep/internal/tensor"
+)
+
+// blockK and blockJ are the cache-tile sizes used by the blocked kernels.
+// 64×256 float64 tiles keep the streamed panel of B and the accumulator row
+// of C inside L1/L2 on common cores; the exact values only affect speed,
+// never results.
+const (
+	blockK = 64
+	blockJ = 256
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C, where op(X) is X or Xᵀ
+// according to transA/transB, at the given optimization level. pool may be
+// nil for non-parallel levels. Shapes: op(A) is m×k, op(B) is k×n, C is m×n.
+func Gemm(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	m, ka := opShape(a, transA)
+	kb, n := opShape(b, transB)
+	if ka != kb {
+		panic(fmt.Sprintf("kernels: Gemm inner dimension mismatch: %d vs %d", ka, kb))
+	}
+	if c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("kernels: Gemm output shape %dx%d, want %dx%d", c.Rows, c.Cols, m, n))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	scaleC(pool, lvl, beta, c)
+	if ka == 0 || alpha == 0 {
+		return
+	}
+
+	// Both transposed: rewrite op(A)ᵀop(B)ᵀ using a packed transpose of A so
+	// the hot kernels below only handle three layouts. TT does not occur in
+	// the training hot paths.
+	if transA && transB {
+		Gemm(pool, lvl, false, true, alpha, a.T(), b, 1, c)
+		return
+	}
+
+	rowRange := func(lo, hi int) {
+		switch {
+		case !transA && !transB:
+			gemmNN(lvl, alpha, a, b, c, lo, hi)
+		case !transA && transB:
+			gemmNT(lvl, alpha, a, b, c, lo, hi)
+		default: // transA && !transB
+			gemmTN(lvl, alpha, a, b, c, lo, hi)
+		}
+	}
+	if lvl.IsParallel() && pool != nil && pool.Workers() > 1 {
+		pool.For(m, parallel.Static, 0, rowRange)
+	} else {
+		rowRange(0, m)
+	}
+}
+
+func opShape(x *tensor.Matrix, trans bool) (rows, cols int) {
+	if trans {
+		return x.Cols, x.Rows
+	}
+	return x.Rows, x.Cols
+}
+
+func scaleC(pool *parallel.Pool, lvl Level, beta float64, c *tensor.Matrix) {
+	if beta == 1 {
+		return
+	}
+	scale := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := c.RowView(i)
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if lvl.IsParallel() && pool != nil && pool.Workers() > 1 {
+		pool.For(c.Rows, parallel.Static, 0, scale)
+	} else {
+		scale(0, c.Rows)
+	}
+}
+
+// gemmNN accumulates C[lo:hi,:] += alpha * A[lo:hi,:] * B.
+func gemmNN(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
+	k, n := a.Cols, c.Cols
+	if !lvl.IsBlocked() {
+		// "ikj" scalar loop: streams B rows, accumulates into the C row.
+		for i := lo; i < hi; i++ {
+			arow, crow := a.RowView(i), c.RowView(i)
+			for l := 0; l < k; l++ {
+				av := alpha * arow[l]
+				if av == 0 {
+					continue
+				}
+				brow := b.RowView(l)
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+		return
+	}
+	// Tiled over (k, j): each (lb, jb) tile of B is reused across all rows
+	// of the block before being evicted.
+	for lb := 0; lb < k; lb += blockK {
+		lend := min(lb+blockK, k)
+		for jb := 0; jb < n; jb += blockJ {
+			jend := min(jb+blockJ, n)
+			for i := lo; i < hi; i++ {
+				arow := a.RowView(i)
+				crow := c.RowView(i)[jb:jend]
+				for l := lb; l < lend; l++ {
+					av := alpha * arow[l]
+					if av == 0 {
+						continue
+					}
+					brow := b.RowView(l)[jb:jend]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmNT accumulates C[lo:hi,:] += alpha * A[lo:hi,:] * Bᵀ. Both operand
+// rows are contiguous, so the inner kernel is a dot product.
+func gemmNT(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
+	k, n := a.Cols, c.Cols
+	if !lvl.IsBlocked() {
+		for i := lo; i < hi; i++ {
+			arow, crow := a.RowView(i), c.RowView(i)
+			for j := 0; j < n; j++ {
+				brow := b.RowView(j)
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += arow[l] * brow[l]
+				}
+				crow[j] += alpha * s
+			}
+		}
+		return
+	}
+	// Tile the dot products over k so long rows of A and B stay cached.
+	for lb := 0; lb < k; lb += blockK {
+		lend := min(lb+blockK, k)
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)[lb:lend]
+			crow := c.RowView(i)
+			for j := 0; j < n; j++ {
+				brow := b.RowView(j)[lb:lend]
+				s := 0.0
+				for l, av := range arow {
+					s += av * brow[l]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	}
+}
+
+// gemmTN accumulates C[lo:hi,:] += alpha * Aᵀ[lo:hi,:] * B, i.e. row i of C
+// gathers column i of A. Used for weight gradients (Δᵀ·X patterns).
+func gemmTN(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
+	k, n := a.Rows, c.Cols // op(A) is (a.Cols)×(a.Rows)
+	if !lvl.IsBlocked() {
+		for l := 0; l < k; l++ {
+			arow, brow := a.RowView(l), b.RowView(l)
+			for i := lo; i < hi; i++ {
+				av := alpha * arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.RowView(i)
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+		return
+	}
+	for lb := 0; lb < k; lb += blockK {
+		lend := min(lb+blockK, k)
+		for jb := 0; jb < n; jb += blockJ {
+			jend := min(jb+blockJ, n)
+			for l := lb; l < lend; l++ {
+				arow := a.RowView(l)
+				brow := b.RowView(l)[jb:jend]
+				for i := lo; i < hi; i++ {
+					av := alpha * arow[i]
+					if av == 0 {
+						continue
+					}
+					crow := c.RowView(i)[jb:jend]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// Gemv computes y = alpha*op(A)*x + beta*y. Shapes: op(A) is m×n, x length
+// n, y length m.
+func Gemv(pool *parallel.Pool, lvl Level, transA bool, alpha float64, a *tensor.Matrix, x tensor.Vector, beta float64, y tensor.Vector) {
+	m, n := opShape(a, transA)
+	if len(x) != n || len(y) != m {
+		panic(fmt.Sprintf("kernels: Gemv shape mismatch: op(A)=%dx%d, x=%d, y=%d", m, n, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] *= beta
+	}
+	if alpha == 0 || n == 0 {
+		return
+	}
+	if !transA {
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := a.RowView(i)
+				s := 0.0
+				for j, v := range row {
+					s += v * x[j]
+				}
+				y[i] += alpha * s
+			}
+		}
+		if lvl.IsParallel() && pool != nil && pool.Workers() > 1 {
+			pool.For(m, parallel.Static, 0, body)
+		} else {
+			body(0, m)
+		}
+		return
+	}
+	// Transposed: y += alpha * Aᵀx, accumulated row by row of A. Kept
+	// sequential — the vector is shared across rows, and the paper's models
+	// only hit this shape with small vectors.
+	for l := 0; l < a.Rows; l++ {
+		row := a.RowView(l)
+		xv := alpha * x[l]
+		if xv == 0 {
+			continue
+		}
+		for i, v := range row {
+			y[i] += xv * v
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Package kernels implements phideep's numerical compute kernels at the four
+// optimization levels of the paper's Table I ladder:
+//
+//   - Naive: scalar triple loops, single threaded — the "Baseline" row.
+//   - Blocked: cache-tiled loops, single threaded.
+//   - Parallel: row-parallel scalar loops over a worker pool — the
+//     "OpenMP" row.
+//   - ParallelBlocked: cache-tiled loops parallelized over row blocks — the
+//     "OpenMP + MKL" rows (our pure-Go stand-in for MKL GEMM).
+//
+// Every kernel at every level computes exactly the same result (up to
+// floating-point association order); the equivalence is enforced by
+// property tests. Simulated timing differences between the levels are
+// charged by internal/device from the cost model in internal/sim — the
+// kernels themselves are timing-free.
+package kernels
+
+import "fmt"
+
+// Level selects the kernel implementation, mirroring the optimization steps
+// of Table I.
+type Level int
+
+const (
+	// Naive is the un-optimized sequential implementation.
+	Naive Level = iota
+	// Blocked adds cache tiling but stays single threaded.
+	Blocked
+	// Parallel distributes scalar loops across the worker pool (OpenMP).
+	Parallel
+	// ParallelBlocked combines tiling and the worker pool (OpenMP + MKL).
+	ParallelBlocked
+)
+
+// Levels lists all kernel levels in ladder order, for tests and sweeps.
+var Levels = []Level{Naive, Blocked, Parallel, ParallelBlocked}
+
+func (l Level) String() string {
+	switch l {
+	case Naive:
+		return "naive"
+	case Blocked:
+		return "blocked"
+	case Parallel:
+		return "parallel"
+	case ParallelBlocked:
+		return "parallel+blocked"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// IsParallel reports whether the level uses the worker pool.
+func (l Level) IsParallel() bool { return l == Parallel || l == ParallelBlocked }
+
+// IsBlocked reports whether the level uses cache tiling.
+func (l Level) IsBlocked() bool { return l == Blocked || l == ParallelBlocked }

@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/parallel"
+	"phideep/internal/tensor"
+)
+
+// SoftmaxRows computes a numerically stable row-wise softmax:
+// dst[i,j] = exp(src[i,j] − max_i) / Σ_j exp(src[i,j] − max_i). dst and src
+// may be the same matrix. Used by the supervised fine-tuning head.
+func SoftmaxRows(pool *parallel.Pool, lvl Level, dst, src *tensor.Matrix) {
+	checkSameShape("SoftmaxRows", dst, src)
+	forRows(pool, lvl, src.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, d := src.RowView(i), dst.RowView(i)
+			maxV := math.Inf(-1)
+			for _, v := range s {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			sum := 0.0
+			for j, v := range s {
+				e := math.Exp(v - maxV)
+				d[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range d {
+				d[j] *= inv
+			}
+		}
+	})
+}
+
+// CrossEntropyOneHot returns −Σ_ij y[i,j]·log(p[i,j]) for one-hot targets y
+// and predicted probabilities p, with probabilities clamped away from zero.
+func CrossEntropyOneHot(pool *parallel.Pool, lvl Level, p, y *tensor.Matrix) float64 {
+	checkSameShape("CrossEntropyOneHot", p, y)
+	const eps = 1e-12
+	body := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			pr, yr := p.RowView(i), y.RowView(i)
+			for j, yv := range yr {
+				if yv != 0 {
+					s -= yv * math.Log(math.Max(pr[j], eps))
+				}
+			}
+		}
+		return s
+	}
+	if lvl.IsParallel() && pool != nil && pool.Workers() > 1 {
+		return pool.ReduceSum(p.Rows, body)
+	}
+	return body(0, p.Rows)
+}
+
+// CountArgmaxMatches returns the number of rows whose argmax in p equals
+// the argmax in y (classification accuracy numerator for one-hot targets).
+// Ties resolve to the lowest index in both operands.
+func CountArgmaxMatches(pool *parallel.Pool, lvl Level, p, y *tensor.Matrix) int {
+	checkSameShape("CountArgmaxMatches", p, y)
+	argmax := func(row []float64) int {
+		best, bestV := 0, math.Inf(-1)
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		return best
+	}
+	body := func(lo, hi int) float64 {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if argmax(p.RowView(i)) == argmax(y.RowView(i)) {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	var total float64
+	if lvl.IsParallel() && pool != nil && pool.Workers() > 1 {
+		total = pool.ReduceSum(p.Rows, body)
+	} else {
+		total = body(0, p.Rows)
+	}
+	return int(total)
+}
+
+// OneHot fills dst (n×classes) with one-hot rows for the given labels.
+func OneHot(labels []int, dst *tensor.Matrix) {
+	if len(labels) != dst.Rows {
+		panic(fmt.Sprintf("kernels: OneHot with %d labels into %d rows", len(labels), dst.Rows))
+	}
+	dst.Zero()
+	for i, l := range labels {
+		if l < 0 || l >= dst.Cols {
+			panic(fmt.Sprintf("kernels: OneHot label %d outside %d classes", l, dst.Cols))
+		}
+		dst.Set(i, l, 1)
+	}
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"phideep/internal/parallel"
+	"phideep/internal/rng"
+	"phideep/internal/tensor"
+)
+
+func TestSoftmaxRowsProperties(t *testing.T) {
+	forAllLevels(t, func(t *testing.T, pool *parallel.Pool, lvl Level) {
+		src := tensor.NewMatrix(11, 7).Randomize(rng.New(1), -5, 5)
+		dst := tensor.NewMatrix(11, 7)
+		SoftmaxRows(pool, lvl, dst, src)
+		for i := 0; i < dst.Rows; i++ {
+			sum := 0.0
+			for _, v := range dst.RowView(i) {
+				if v <= 0 || v >= 1 {
+					t.Fatalf("probability %g out of (0,1)", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("row %d sums to %g", i, sum)
+			}
+		}
+		// Order preserved: argmax of src == argmax of dst.
+		for i := 0; i < src.Rows; i++ {
+			s, d := src.RowView(i), dst.RowView(i)
+			if argmax(s) != argmax(d) {
+				t.Fatalf("row %d: softmax changed the argmax", i)
+			}
+		}
+	})
+}
+
+func argmax(row []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}
+
+func TestSoftmaxRowsNumericalStability(t *testing.T) {
+	// Huge logits must not overflow.
+	src := tensor.FromRows([][]float64{{1000, 1001, 999}})
+	dst := tensor.NewMatrix(1, 3)
+	SoftmaxRows(nil, Naive, dst, src)
+	for _, v := range dst.RowView(0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", dst.RowView(0))
+		}
+	}
+	if dst.At(0, 1) < dst.At(0, 0) || dst.At(0, 1) < dst.At(0, 2) {
+		t.Fatal("largest logit did not win")
+	}
+}
+
+func TestSoftmaxInvariantToShift(t *testing.T) {
+	src := tensor.NewMatrix(3, 5).Randomize(rng.New(2), -2, 2)
+	shifted := src.Clone().Apply(func(v float64) float64 { return v + 123 })
+	a, b := tensor.NewMatrix(3, 5), tensor.NewMatrix(3, 5)
+	SoftmaxRows(nil, Naive, a, src)
+	SoftmaxRows(nil, Naive, b, shifted)
+	if d := tensor.MaxAbsDiff(a, b); d > 1e-12 {
+		t.Fatalf("softmax not shift-invariant: %g", d)
+	}
+}
+
+func TestCrossEntropyOneHot(t *testing.T) {
+	forAllLevels(t, func(t *testing.T, pool *parallel.Pool, lvl Level) {
+		p := tensor.FromRows([][]float64{{0.7, 0.2, 0.1}, {0.1, 0.1, 0.8}})
+		y := tensor.NewMatrix(2, 3)
+		OneHot([]int{0, 2}, y)
+		got := CrossEntropyOneHot(pool, lvl, p, y)
+		want := -math.Log(0.7) - math.Log(0.8)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("got %g want %g", got, want)
+		}
+	})
+	// Zero probability is clamped, not infinite.
+	p := tensor.FromRows([][]float64{{0, 1}})
+	y := tensor.NewMatrix(1, 2)
+	OneHot([]int{0}, y)
+	if v := CrossEntropyOneHot(nil, Naive, p, y); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("unclamped cross-entropy: %g", v)
+	}
+}
+
+func TestCountArgmaxMatches(t *testing.T) {
+	forAllLevels(t, func(t *testing.T, pool *parallel.Pool, lvl Level) {
+		p := tensor.FromRows([][]float64{
+			{0.9, 0.1}, // predicts 0
+			{0.3, 0.7}, // predicts 1
+			{0.6, 0.4}, // predicts 0
+		})
+		y := tensor.NewMatrix(3, 2)
+		OneHot([]int{0, 0, 0}, y)
+		if got := CountArgmaxMatches(pool, lvl, p, y); got != 2 {
+			t.Fatalf("got %d matches, want 2", got)
+		}
+	})
+}
+
+func TestOneHotValidation(t *testing.T) {
+	y := tensor.NewMatrix(2, 3)
+	OneHot([]int{1, 2}, y)
+	if y.At(0, 1) != 1 || y.At(1, 2) != 1 || y.Sum() != 2 {
+		t.Fatalf("one-hot wrong: %v", y)
+	}
+	for _, f := range []func(){
+		func() { OneHot([]int{1}, y) },
+		func() { OneHot([]int{1, 3}, y) },
+		func() { OneHot([]int{1, -1}, y) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,26 @@
+package mlp
+
+import (
+	"bytes"
+	"testing"
+
+	"phideep/internal/tensor"
+)
+
+func TestParamsSaveLoad(t *testing.T) {
+	cfg := Config{Sizes: []int{6, 4, 3}}
+	p := NewParams(cfg, 1)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewParams(cfg, 42)
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for l := range p.W {
+		if tensor.MaxAbsDiff(p.W[l], q.W[l]) != 0 || !tensor.EqualVec(p.B[l], q.B[l], 0) {
+			t.Fatalf("layer %d not restored", l)
+		}
+	}
+}

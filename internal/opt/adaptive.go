@@ -1,0 +1,59 @@
+package opt
+
+import "fmt"
+
+// AdaptiveLR is a learning-rate controller driven by observed training
+// loss — the first category of deep-learning speedups the paper's §III
+// surveys ("adaptive strategies for the learning rate to make it faster to
+// converge"). LR returns the rate for the next update; Observe feeds back
+// the loss that update produced.
+type AdaptiveLR interface {
+	LR() float64
+	Observe(loss float64)
+}
+
+// BoldDriver is the classic adaptive heuristic: grow the rate slightly
+// after every improvement, cut it sharply after any worsening.
+type BoldDriver struct {
+	// Grow multiplies the rate after an improving step (default 1.05);
+	// Shrink after a worsening one (default 0.5). Min/Max clamp the rate
+	// (defaults 1e-6 / 1e3).
+	Grow, Shrink float64
+	Min, Max     float64
+
+	lr   float64
+	prev float64
+	seen bool
+}
+
+// NewBoldDriver returns a driver starting at lr with the conventional
+// 1.05×/0.5× factors.
+func NewBoldDriver(lr float64) *BoldDriver {
+	if lr <= 0 {
+		panic(fmt.Sprintf("opt: NewBoldDriver(%g): non-positive rate", lr))
+	}
+	return &BoldDriver{Grow: 1.05, Shrink: 0.5, Min: 1e-6, Max: 1e3, lr: lr}
+}
+
+// LR implements AdaptiveLR.
+func (b *BoldDriver) LR() float64 { return b.lr }
+
+// Observe implements AdaptiveLR.
+func (b *BoldDriver) Observe(loss float64) {
+	if !b.seen {
+		b.prev, b.seen = loss, true
+		return
+	}
+	if loss <= b.prev {
+		b.lr *= b.Grow
+	} else {
+		b.lr *= b.Shrink
+	}
+	if b.lr < b.Min {
+		b.lr = b.Min
+	}
+	if b.lr > b.Max {
+		b.lr = b.Max
+	}
+	b.prev = loss
+}

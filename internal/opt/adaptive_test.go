@@ -1,0 +1,67 @@
+package opt
+
+import "testing"
+
+func TestBoldDriverBehaviour(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	if b.LR() != 0.1 {
+		t.Fatal("initial rate")
+	}
+	b.Observe(1.0) // first observation: baseline only
+	if b.LR() != 0.1 {
+		t.Fatal("first observation must not change the rate")
+	}
+	b.Observe(0.9) // improvement → grow
+	if b.LR() <= 0.1 {
+		t.Fatalf("rate did not grow: %g", b.LR())
+	}
+	grown := b.LR()
+	b.Observe(1.5) // worsening → shrink sharply
+	if b.LR() >= grown*0.6 {
+		t.Fatalf("rate did not shrink: %g", b.LR())
+	}
+}
+
+func TestBoldDriverClamps(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	b.Min, b.Max = 0.05, 0.2
+	b.Observe(1)
+	for i := 0; i < 100; i++ {
+		b.Observe(float64(2 + i)) // strictly worse each step
+	}
+	if b.LR() != 0.05 {
+		t.Fatalf("min clamp failed: %g", b.LR())
+	}
+	for i := 0; i < 100; i++ {
+		b.Observe(-float64(i)) // always better
+	}
+	if b.LR() != 0.2 {
+		t.Fatalf("max clamp failed: %g", b.LR())
+	}
+}
+
+func TestBoldDriverGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive rate")
+		}
+	}()
+	NewBoldDriver(0)
+}
+
+func TestBoldDriverOnQuadratic(t *testing.T) {
+	// The driver must converge a simple quadratic from a too-small rate by
+	// growing it, without diverging.
+	const d = 3.0
+	theta := 5.0
+	b := NewBoldDriver(0.001)
+	for i := 0; i < 400; i++ {
+		loss := 0.5 * d * theta * theta
+		lr := b.LR()
+		theta -= lr * d * theta
+		b.Observe(loss)
+	}
+	if theta > 0.05 || theta < -0.05 {
+		t.Fatalf("did not converge: theta=%g lr=%g", theta, b.LR())
+	}
+}

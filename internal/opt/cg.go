@@ -1,0 +1,91 @@
+package opt
+
+import "phideep/internal/tensor"
+
+// CGConfig parameterizes nonlinear Conjugate Gradient minimization
+// (Polak–Ribière with automatic restarts), the batch method of the paper's
+// reference [23] (Hestenes & Stiefel).
+type CGConfig struct {
+	// MaxIter bounds the outer iterations (default 100).
+	MaxIter int
+	// GradTol stops when ‖∇f‖ falls below it (default 1e-6).
+	GradTol float64
+	// InitialStep seeds the first line search (default 1).
+	InitialStep float64
+}
+
+func (c *CGConfig) defaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.GradTol == 0 {
+		c.GradTol = 1e-6
+	}
+	if c.InitialStep == 0 {
+		c.InitialStep = 1
+	}
+}
+
+// CG minimizes obj starting from theta, updating theta in place.
+func CG(obj Objective, theta tensor.Vector, cfg CGConfig) Result {
+	checkTheta(theta)
+	cfg.defaults()
+	co := &countingObjective{f: obj}
+	n := len(theta)
+
+	g := tensor.NewVector(n)
+	gNew := tensor.NewVector(n)
+	d := tensor.NewVector(n)
+	thetaNew := tensor.NewVector(n)
+
+	f := co.eval(theta, g)
+	for i := range d {
+		d[i] = -g[i]
+	}
+	res := Result{Cost: f}
+	step := cfg.InitialStep
+
+	for it := 0; it < cfg.MaxIter; it++ {
+		if norm2(g) < cfg.GradTol {
+			res.Converged = true
+			break
+		}
+		a, fNew := lineSearch(co, theta, d, f, g, step, thetaNew, gNew)
+		if a == 0 {
+			// Stalled along the conjugate direction: restart steepest
+			// descent once, then give up if still stuck.
+			for i := range d {
+				d[i] = -g[i]
+			}
+			a, fNew = lineSearch(co, theta, d, f, g, step, thetaNew, gNew)
+			if a == 0 {
+				break
+			}
+		}
+		// Polak–Ribière β with restart on negative values.
+		num, den := 0.0, 0.0
+		for i := range g {
+			num += gNew[i] * (gNew[i] - g[i])
+			den += g[i] * g[i]
+		}
+		beta := 0.0
+		if den > 0 {
+			beta = num / den
+		}
+		if beta < 0 {
+			beta = 0
+		}
+		for i := range d {
+			d[i] = -gNew[i] + beta*d[i]
+		}
+		copy(theta, thetaNew)
+		copy(g, gNew)
+		f = fNew
+		step = a // warm-start the next search at the accepted step
+		res.Iterations++
+		res.History = append(res.History, f)
+	}
+	res.Cost = f
+	res.Evaluations = co.n
+	return res
+}

@@ -1,0 +1,125 @@
+package opt
+
+import "phideep/internal/tensor"
+
+// LBFGSConfig parameterizes limited-memory BFGS (Liu & Nocedal, the paper's
+// reference [24]).
+type LBFGSConfig struct {
+	// Memory is the number of (s, y) correction pairs kept (default 10).
+	Memory int
+	// MaxIter bounds the outer iterations (default 100).
+	MaxIter int
+	// GradTol stops when ‖∇f‖ falls below it (default 1e-6).
+	GradTol float64
+}
+
+func (c *LBFGSConfig) defaults() {
+	if c.Memory == 0 {
+		c.Memory = 10
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.GradTol == 0 {
+		c.GradTol = 1e-6
+	}
+}
+
+// LBFGS minimizes obj starting from theta, updating theta in place.
+func LBFGS(obj Objective, theta tensor.Vector, cfg LBFGSConfig) Result {
+	checkTheta(theta)
+	cfg.defaults()
+	co := &countingObjective{f: obj}
+	n := len(theta)
+
+	g := tensor.NewVector(n)
+	gNew := tensor.NewVector(n)
+	d := tensor.NewVector(n)
+	thetaNew := tensor.NewVector(n)
+
+	var sHist, yHist []tensor.Vector
+	var rhoHist []float64
+	alpha := make([]float64, 0, cfg.Memory)
+
+	f := co.eval(theta, g)
+	res := Result{Cost: f}
+
+	for it := 0; it < cfg.MaxIter; it++ {
+		if norm2(g) < cfg.GradTol {
+			res.Converged = true
+			break
+		}
+
+		// Two-loop recursion: d = −H·g with the implicit inverse Hessian.
+		copy(d, g)
+		alpha = alpha[:0]
+		for i := len(sHist) - 1; i >= 0; i-- {
+			a := rhoHist[i] * sHist[i].Dot(d)
+			alpha = append(alpha, a)
+			for j := range d {
+				d[j] -= a * yHist[i][j]
+			}
+		}
+		if k := len(sHist); k > 0 {
+			// Scale by the Barzilai–Borwein estimate sᵀy/yᵀy.
+			sy := sHist[k-1].Dot(yHist[k-1])
+			yy := yHist[k-1].Dot(yHist[k-1])
+			if yy > 0 {
+				scale := sy / yy
+				for j := range d {
+					d[j] *= scale
+				}
+			}
+		}
+		for i := range sHist {
+			b := rhoHist[i] * yHist[i].Dot(d)
+			a := alpha[len(sHist)-1-i]
+			for j := range d {
+				d[j] += (a - b) * sHist[i][j]
+			}
+		}
+		for j := range d {
+			d[j] = -d[j]
+		}
+
+		a, fNew := lineSearch(co, theta, d, f, g, 1, thetaNew, gNew)
+		if a == 0 {
+			// Drop the memory and retry with steepest descent.
+			sHist, yHist, rhoHist = nil, nil, nil
+			for j := range d {
+				d[j] = -g[j]
+			}
+			a, fNew = lineSearch(co, theta, d, f, g, 1, thetaNew, gNew)
+			if a == 0 {
+				break
+			}
+		}
+
+		// Curvature pair.
+		s := tensor.NewVector(n)
+		y := tensor.NewVector(n)
+		for j := range s {
+			s[j] = thetaNew[j] - theta[j]
+			y[j] = gNew[j] - g[j]
+		}
+		if sy := s.Dot(y); sy > 1e-12 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > cfg.Memory {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+
+		copy(theta, thetaNew)
+		copy(g, gNew)
+		f = fNew
+		res.Iterations++
+		res.History = append(res.History, f)
+	}
+	res.Cost = f
+	res.Evaluations = co.n
+	return res
+}

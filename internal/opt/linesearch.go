@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"math"
+
+	"phideep/internal/tensor"
+)
+
+// lineSearch finds a step along direction d from theta satisfying the
+// strong Wolfe conditions (Nocedal & Wright, algorithms 3.5/3.6): sufficient
+// decrease f(a) ≤ f0 + c1·a·slope and curvature |f'(a)| ≤ c2·|slope|.
+// f0 and g0 are the cost and gradient at theta. It writes the accepted
+// point into thetaOut and its gradient into gradOut, returning the accepted
+// step and cost. A zero step is returned when no acceptable point was found
+// (d not a descent direction, or the search stalled).
+func lineSearch(obj *countingObjective, theta, d tensor.Vector, f0 float64, g0 tensor.Vector, step float64, thetaOut, gradOut tensor.Vector) (float64, float64) {
+	const (
+		c1      = 1e-4
+		c2      = 0.9
+		aMax    = 1e6
+		maxIter = 25
+		maxZoom = 40
+	)
+	slope0 := g0.Dot(d)
+	if slope0 >= 0 || step <= 0 {
+		return 0, f0
+	}
+	// phi evaluates f and f' along the ray, leaving the point and gradient
+	// in thetaOut/gradOut.
+	phi := func(a float64) (f, df float64) {
+		for i := range theta {
+			thetaOut[i] = theta[i] + a*d[i]
+		}
+		f = obj.eval(thetaOut, gradOut)
+		return f, gradOut.Dot(d)
+	}
+
+	zoom := func(aLo, fLo, dLo, aHi, fHi float64) (float64, float64) {
+		for i := 0; i < maxZoom; i++ {
+			// Bisect (robust; quadratic interpolation gains little here).
+			a := 0.5 * (aLo + aHi)
+			f, df := phi(a)
+			switch {
+			case f > f0+c1*a*slope0 || f >= fLo:
+				aHi, fHi = a, f
+			case math.Abs(df) <= -c2*slope0:
+				return a, f
+			case df*(aHi-aLo) >= 0:
+				aHi, fHi = aLo, fLo
+				fallthrough
+			default:
+				aLo, fLo, dLo = a, f, df
+			}
+			if math.Abs(aHi-aLo) < 1e-16*(1+math.Abs(aLo)) {
+				break
+			}
+		}
+		_ = dLo
+		if aLo > 0 {
+			// Accept the best sufficient-decrease point found; re-evaluate
+			// so thetaOut/gradOut hold it.
+			f, _ := phi(aLo)
+			return aLo, f
+		}
+		return 0, f0
+	}
+
+	aPrev, fPrev := 0.0, f0
+	dPrev := slope0
+	a := step
+	for i := 0; i < maxIter; i++ {
+		f, df := phi(a)
+		if f > f0+c1*a*slope0 || (i > 0 && f >= fPrev) {
+			return zoom(aPrev, fPrev, dPrev, a, f)
+		}
+		if math.Abs(df) <= -c2*slope0 {
+			return a, f
+		}
+		if df >= 0 {
+			return zoom(a, f, df, aPrev, fPrev)
+		}
+		aPrev, fPrev, dPrev = a, f, df
+		a *= 2
+		if a > aMax {
+			break
+		}
+	}
+	// Ran out of expansion budget with decrease still holding: accept the
+	// last evaluated point if it decreased.
+	if fPrev < f0 && aPrev > 0 {
+		f, _ := phi(aPrev)
+		return aPrev, f
+	}
+	return 0, f0
+}
+
+// norm2 returns the Euclidean norm of v.
+func norm2(v tensor.Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

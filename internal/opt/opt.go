@@ -1,0 +1,58 @@
+// Package opt implements the optimizers discussed in the paper: online
+// minibatch SGD (with the momentum and learning-rate schedules of its §III
+// related-work discussion) and the batch methods — Conjugate Gradient and
+// limited-memory BFGS — that the paper cites as the easier-to-parallelize
+// alternatives to inherently sequential SGD.
+//
+// The batch optimizers work on a host-side flat parameter vector through an
+// Objective callback, which is how they compose with the reference
+// implementations in internal/autoencoder and internal/rbm (and, through
+// nn.ParamSet, with any model).
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/tensor"
+)
+
+// Objective evaluates the cost at theta and, when grad is non-nil, writes
+// the gradient into it (same length as theta).
+type Objective func(theta tensor.Vector, grad tensor.Vector) float64
+
+// Result summarizes an optimizer run.
+type Result struct {
+	// Cost is the final objective value; Iterations the number of outer
+	// iterations executed; Evaluations the number of Objective calls.
+	Cost        float64
+	Iterations  int
+	Evaluations int
+	// Converged reports whether the gradient-norm tolerance was met
+	// before the iteration limit.
+	Converged bool
+	// History records the cost after every iteration.
+	History []float64
+}
+
+// countingObjective wraps an Objective to count evaluations.
+type countingObjective struct {
+	f Objective
+	n int
+}
+
+func (c *countingObjective) eval(theta, grad tensor.Vector) float64 {
+	c.n++
+	return c.f(theta, grad)
+}
+
+func checkTheta(theta tensor.Vector) {
+	if len(theta) == 0 {
+		panic("opt: empty parameter vector")
+	}
+	for _, v := range theta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("opt: non-finite parameter %g", v))
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/rng"
+	"phideep/internal/tensor"
+)
+
+// quadratic builds a convex quadratic f(x) = ½ Σ d_i x_i² − b·x with known
+// minimum x* = b_i/d_i.
+func quadratic(d, b tensor.Vector) Objective {
+	return func(theta, grad tensor.Vector) float64 {
+		f := 0.0
+		for i := range theta {
+			f += 0.5*d[i]*theta[i]*theta[i] - b[i]*theta[i]
+			if grad != nil {
+				grad[i] = d[i]*theta[i] - b[i]
+			}
+		}
+		return f
+	}
+}
+
+// rosenbrock is the classic ill-conditioned test function (min at (1, 1)).
+func rosenbrock(theta, grad tensor.Vector) float64 {
+	x, y := theta[0], theta[1]
+	f := (1-x)*(1-x) + 100*(y-x*x)*(y-x*x)
+	if grad != nil {
+		grad[0] = -2*(1-x) - 400*x*(y-x*x)
+		grad[1] = 200 * (y - x*x)
+	}
+	return f
+}
+
+func TestCGSolvesQuadratic(t *testing.T) {
+	d := tensor.Vector{1, 10, 100, 3, 7}
+	b := tensor.Vector{1, -2, 3, 0.5, -0.1}
+	theta := tensor.NewVector(5).Randomize(rng.New(1), -2, 2)
+	res := CG(quadratic(d, b), theta, CGConfig{MaxIter: 300, GradTol: 1e-5})
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := range theta {
+		if math.Abs(theta[i]-b[i]/d[i]) > 1e-4 {
+			t.Fatalf("theta[%d] = %g, want %g", i, theta[i], b[i]/d[i])
+		}
+	}
+}
+
+func TestLBFGSSolvesQuadratic(t *testing.T) {
+	d := tensor.Vector{1, 50, 2, 9}
+	b := tensor.Vector{4, 1, -3, 0}
+	theta := tensor.NewVector(4).Randomize(rng.New(2), -2, 2)
+	res := LBFGS(quadratic(d, b), theta, LBFGSConfig{MaxIter: 200, GradTol: 1e-6})
+	if !res.Converged {
+		t.Fatalf("L-BFGS did not converge: %+v", res)
+	}
+	for i := range theta {
+		if math.Abs(theta[i]-b[i]/d[i]) > 1e-4 {
+			t.Fatalf("theta[%d] = %g, want %g", i, theta[i], b[i]/d[i])
+		}
+	}
+}
+
+func TestLBFGSBeatsSteepestDescentOnRosenbrock(t *testing.T) {
+	theta := tensor.Vector{-1.2, 1}
+	res := LBFGS(rosenbrock, theta, LBFGSConfig{MaxIter: 300, GradTol: 1e-8})
+	if rosenbrock(theta, nil) > 1e-8 {
+		t.Fatalf("L-BFGS stuck at f=%g after %d iters", res.Cost, res.Iterations)
+	}
+	if math.Abs(theta[0]-1) > 1e-3 || math.Abs(theta[1]-1) > 1e-3 {
+		t.Fatalf("wrong minimum: %v", theta)
+	}
+}
+
+func TestCGOnRosenbrockMakesProgress(t *testing.T) {
+	theta := tensor.Vector{-1.2, 1}
+	start := rosenbrock(theta, nil)
+	res := CG(rosenbrock, theta, CGConfig{MaxIter: 500, GradTol: 1e-8})
+	if !(res.Cost < start/100) {
+		t.Fatalf("CG made little progress: %g → %g", start, res.Cost)
+	}
+}
+
+func TestHistoryMonotoneNonIncreasing(t *testing.T) {
+	d := tensor.Vector{3, 1}
+	b := tensor.Vector{1, 1}
+	theta := tensor.Vector{5, -5}
+	for name, res := range map[string]Result{
+		"CG":    CG(quadratic(d, b), theta.Clone(), CGConfig{}),
+		"LBFGS": LBFGS(quadratic(d, b), theta.Clone(), LBFGSConfig{}),
+	} {
+		for i := 1; i < len(res.History); i++ {
+			if res.History[i] > res.History[i-1]+1e-12 {
+				t.Fatalf("%s cost increased at iter %d: %g → %g", name, i, res.History[i-1], res.History[i])
+			}
+		}
+		if res.Evaluations == 0 {
+			t.Fatalf("%s did not count evaluations", name)
+		}
+	}
+}
+
+func TestSGDMomentumOnQuadratic(t *testing.T) {
+	d := tensor.Vector{1, 4}
+	b := tensor.Vector{2, -1}
+	theta := tensor.Vector{3, 3}
+	res := SGD(quadratic(d, b), theta, SGDConfig{LR: 0.05, Momentum: 0.9, Steps: 500})
+	if math.Abs(theta[0]-2) > 1e-3 || math.Abs(theta[1]+0.25) > 1e-3 {
+		t.Fatalf("SGD did not reach minimum: %v (cost %g)", theta, res.Cost)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if ConstantLR(0.3)(100) != 0.3 {
+		t.Fatal("ConstantLR")
+	}
+	s := StepDecayLR(1, 10, 0.5)
+	if s(0) != 1 || s(9) != 1 || s(10) != 0.5 || s(25) != 0.25 {
+		t.Fatal("StepDecayLR")
+	}
+	inv := InverseTimeLR(1, 0.1)
+	if inv(0) != 1 || math.Abs(inv(10)-0.5) > 1e-12 {
+		t.Fatal("InverseTimeLR")
+	}
+	if inv(1) >= inv(0) {
+		t.Fatal("InverseTimeLR not decreasing")
+	}
+}
+
+func TestSGDScheduleUsed(t *testing.T) {
+	d := tensor.Vector{1}
+	b := tensor.Vector{0}
+	theta := tensor.Vector{1}
+	SGD(quadratic(d, b), theta, SGDConfig{LR: 99, Schedule: ConstantLR(0), Steps: 3})
+	if theta[0] != 1 {
+		t.Fatal("schedule not applied")
+	}
+}
+
+func TestGuards(t *testing.T) {
+	for _, f := range []func(){
+		func() { CG(rosenbrock, tensor.Vector{}, CGConfig{}) },
+		func() { CG(rosenbrock, tensor.Vector{math.NaN(), 0}, CGConfig{}) },
+		func() { SGD(rosenbrock, tensor.Vector{0, 0}, SGDConfig{Steps: 0}) },
+		func() { SGD(rosenbrock, tensor.Vector{0, 0}, SGDConfig{Steps: 1, Momentum: 1}) },
+		func() { StepDecayLR(1, 0, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestLBFGSTrainsAutoencoder ties the batch optimizer to the reference
+// model, the combination the paper's §III describes as the parallel
+// alternative to online SGD.
+func TestLBFGSTrainsAutoencoder(t *testing.T) {
+	cfg := autoencoder.Config{Visible: 16, Hidden: 6, Lambda: 1e-5}
+	x := tensor.NewMatrix(30, cfg.Visible).Randomize(rng.New(5), 0, 1)
+	// Make it compressible: rank-2 structure through a sigmoid.
+	u := tensor.NewMatrix(30, 2).Randomize(rng.New(6), -2, 2)
+	v := tensor.NewMatrix(2, cfg.Visible).Randomize(rng.New(7), -2, 2)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < cfg.Visible; j++ {
+			s := u.At(i, 0)*v.At(0, j) + u.At(i, 1)*v.At(1, j)
+			x.Set(i, j, 1/(1+math.Exp(-s)))
+		}
+	}
+	p := autoencoder.NewParams(cfg, 8)
+	ps := p.ParamSet()
+	theta := ps.Flatten(nil)
+	grad := autoencoder.ZeroGrad(cfg)
+	gs := grad.ParamSet()
+	obj := func(th, g tensor.Vector) float64 {
+		ps.Unflatten(th)
+		if g == nil {
+			return autoencoder.CostGrad(cfg, p, x, nil)
+		}
+		c := autoencoder.CostGrad(cfg, p, x, grad)
+		gs.Flatten(g)
+		return c
+	}
+	start := obj(theta, nil)
+	res := LBFGS(obj, theta, LBFGSConfig{MaxIter: 60})
+	if !(res.Cost < 0.5*start) {
+		t.Fatalf("L-BFGS barely reduced the AE cost: %g → %g", start, res.Cost)
+	}
+}

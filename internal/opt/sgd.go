@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/tensor"
+)
+
+// Schedule maps an update-step index to a learning rate. The paper's §III
+// surveys adaptive schedules as the first category of deep-learning
+// speedups; these constructors cover the standard shapes.
+type Schedule func(step int) float64
+
+// ConstantLR returns a flat schedule.
+func ConstantLR(lr float64) Schedule {
+	return func(int) float64 { return lr }
+}
+
+// StepDecayLR halves (×factor) the rate every interval steps.
+func StepDecayLR(lr float64, interval int, factor float64) Schedule {
+	if interval <= 0 {
+		panic(fmt.Sprintf("opt: StepDecayLR interval %d", interval))
+	}
+	return func(step int) float64 {
+		return lr * math.Pow(factor, float64(step/interval))
+	}
+}
+
+// InverseTimeLR returns lr/(1+decay·step), the classic Robbins–Monro-style
+// 1/t decay.
+func InverseTimeLR(lr, decay float64) Schedule {
+	return func(step int) float64 { return lr / (1 + decay*float64(step)) }
+}
+
+// SGDConfig parameterizes host-side minibatch SGD over a flat objective.
+type SGDConfig struct {
+	LR       float64
+	Momentum float64
+	Steps    int
+	Schedule Schedule // overrides LR when non-nil
+}
+
+// SGD runs cfg.Steps gradient steps of obj from theta (updated in place).
+// Unlike the device training engine this evaluates the full objective each
+// step; it exists to compare optimizer trajectories on the reference
+// implementations.
+func SGD(obj Objective, theta tensor.Vector, cfg SGDConfig) Result {
+	checkTheta(theta)
+	if cfg.Steps <= 0 {
+		panic(fmt.Sprintf("opt: SGD steps %d", cfg.Steps))
+	}
+	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		panic(fmt.Sprintf("opt: SGD momentum %g outside [0,1)", cfg.Momentum))
+	}
+	co := &countingObjective{f: obj}
+	g := tensor.NewVector(len(theta))
+	vel := tensor.NewVector(len(theta))
+	var f float64
+	res := Result{}
+	for step := 0; step < cfg.Steps; step++ {
+		f = co.eval(theta, g)
+		lr := cfg.LR
+		if cfg.Schedule != nil {
+			lr = cfg.Schedule(step)
+		}
+		for i := range theta {
+			vel[i] = cfg.Momentum*vel[i] - lr*g[i]
+			theta[i] += vel[i]
+		}
+		res.Iterations++
+		res.History = append(res.History, f)
+	}
+	res.Cost = co.eval(theta, nil)
+	res.Evaluations = co.n
+	return res
+}

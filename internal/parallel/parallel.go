@@ -1,0 +1,239 @@
+// Package parallel is phideep's OpenMP substitute: a long-lived worker pool
+// with parallel-for, reductions and a reusable barrier.
+//
+// The paper parallelizes loop nests with OpenMP and observes that the
+// granularity of parallel regions matters — small loop bodies drown in
+// synchronization cost (§IV.B.2). This package mirrors that programming
+// model: a fixed pool of workers, static or dynamic iteration scheduling,
+// and fork/join semantics per For call. The *simulated* fork/join cost that
+// drives the paper's timing figures is charged separately by
+// internal/device; this package provides the real concurrent execution used
+// when kernels run numerically.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Schedule selects how loop iterations are assigned to workers, mirroring
+// OpenMP's schedule(static) and schedule(dynamic).
+type Schedule int
+
+const (
+	// Static pre-partitions the iteration space into one contiguous block
+	// per worker. Lowest overhead; best for uniform bodies.
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter as workers
+	// become free. Higher overhead; best for irregular bodies.
+	Dynamic
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Pool is a fixed set of workers executing parallel loops. The zero value
+// is not usable; call NewPool. A Pool is safe for use from one goroutine at
+// a time (nested For calls from loop bodies are not supported, matching the
+// paper's single level of OpenMP parallelism).
+type Pool struct {
+	workers int
+	tasks   chan func()
+	done    chan struct{}
+	closed  bool
+	mu      sync.Mutex
+}
+
+// NewPool creates a pool with the given number of workers. workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), workers),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case f := <-p.tasks:
+			f()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers. For must not be called after Close. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.done)
+	}
+}
+
+// For executes body(lo, hi) over a partition of [0, n) using the given
+// schedule and returns when every iteration has completed (fork/join).
+// chunk is the dynamic chunk size; it is ignored for Static and defaults to
+// ceil(n/(8*workers)) when <= 0.
+func (p *Pool) For(n int, s Schedule, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		body(0, n)
+		return
+	}
+	switch s {
+	case Static:
+		p.forStatic(n, body)
+	case Dynamic:
+		p.forDynamic(n, chunk, body)
+	default:
+		panic(fmt.Sprintf("parallel: unknown schedule %d", int(s)))
+	}
+}
+
+func (p *Pool) forStatic(n int, body func(lo, hi int)) {
+	var wg sync.WaitGroup
+	per := (n + p.workers - 1) / p.workers
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		p.tasks <- func() {
+			defer wg.Done()
+			body(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+func (p *Pool) forDynamic(n, chunk int, body func(lo, hi int)) {
+	if chunk <= 0 {
+		chunk = (n + 8*p.workers - 1) / (8 * p.workers)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	take := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0, false
+		}
+		lo := next
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = hi
+		return lo, hi, true
+	}
+	for i := 0; i < p.workers; i++ {
+		wg.Add(1)
+		p.tasks <- func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				body(lo, hi)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// ReduceSum evaluates body over a static partition of [0, n), where body
+// returns a partial sum for its block, and returns the total. Partials are
+// combined in block order so the result is deterministic for a fixed n and
+// worker count.
+func (p *Pool) ReduceSum(n int, body func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if p.workers == 1 {
+		return body(0, n)
+	}
+	per := (n + p.workers - 1) / p.workers
+	blocks := (n + per - 1) / per
+	partials := make([]float64, blocks)
+	var wg sync.WaitGroup
+	for b := 0; b < blocks; b++ {
+		lo := b * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		b, lo, hi := b, lo, hi
+		p.tasks <- func() {
+			defer wg.Done()
+			partials[b] = body(lo, hi)
+		}
+	}
+	wg.Wait()
+	total := 0.0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}
+
+// Run executes the given thunks concurrently and waits for all of them.
+// It is the building block for the Fig. 6 dependency-graph schedule, where
+// independent matrix operations of the RBM gradient run at the same time.
+func (p *Pool) Run(thunks ...func()) {
+	if len(thunks) == 0 {
+		return
+	}
+	if len(thunks) == 1 || p.workers == 1 {
+		for _, f := range thunks {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, f := range thunks {
+		wg.Add(1)
+		f := f
+		p.tasks <- func() {
+			defer wg.Done()
+			f()
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,26 @@
+package rbm
+
+import (
+	"bytes"
+	"testing"
+
+	"phideep/internal/rng"
+	"phideep/internal/tensor"
+)
+
+func TestParamsSaveLoad(t *testing.T) {
+	cfg := Config{Visible: 5, Hidden: 3}
+	p := NewParams(cfg, 1)
+	p.B.Randomize(rng.New(5), -1, 1)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewParams(cfg, 7)
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(p.W, q.W) != 0 || !tensor.EqualVec(p.B, q.B, 0) || !tensor.EqualVec(p.C, q.C, 0) {
+		t.Fatal("round trip lost data")
+	}
+}

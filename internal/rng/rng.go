@@ -1,0 +1,120 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout phideep.
+//
+// Experiments in the paper must be regenerated bit-for-bit across runs and
+// platforms, so the library does not depend on math/rand's global state or
+// on its version-dependent algorithms. The generator here is xoshiro256**
+// seeded through SplitMix64, the combination recommended by the xoshiro
+// authors. It is not cryptographically secure and must not be used for
+// anything but workload generation and weight initialization.
+package rng
+
+import "math"
+
+// RNG is a deterministic xoshiro256** generator. The zero value is invalid;
+// use New. RNG is not safe for concurrent use; give each goroutine its own
+// stream via Split.
+type RNG struct {
+	s [4]uint64
+	// spare caches the second output of the Box-Muller transform.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded from the given seed. Any seed, including
+// zero, yields a well-mixed state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 to spread the seed across the 256-bit state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from r, advancing r. Streams
+// produced by successive Split calls are statistically independent for the
+// purposes of workload generation.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate (Box-Muller, with caching of the
+// spare value so consecutive calls cost one transform per pair).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		mag := math.Sqrt(-2 * math.Log(u))
+		r.spare = mag * math.Sin(2*math.Pi*v)
+		r.hasSpare = true
+		return mag * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Bernoulli returns 1 with probability p and 0 otherwise.
+func (r *RNG) Bernoulli(p float64) float64 {
+	if r.Float64() < p {
+		return 1
+	}
+	return 0
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

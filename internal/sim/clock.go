@@ -1,0 +1,103 @@
+package sim
+
+import "fmt"
+
+// Clock is a simulated wall clock. Times are seconds from the start of the
+// simulation.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds. It panics on negative dt —
+// simulated time is monotone by construction.
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: Advance(%g): negative duration", dt))
+	}
+	c.now += dt
+}
+
+// AdvanceTo moves the clock to t if t is later than now (idle until t).
+func (c *Clock) AdvanceTo(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero (between independent experiment runs).
+func (c *Clock) Reset() { c.now = 0 }
+
+// Timeline is the busy/idle schedule of one device engine (the compute
+// cores, or the PCIe transfer engine). Work items are appended in issue
+// order; each starts no earlier than both its ready time and the engine
+// becoming free.
+type Timeline struct {
+	Name      string
+	busyUntil float64
+	busyTotal float64
+	items     int
+}
+
+// Schedule books a work item of the given duration that becomes ready at
+// readyAt, returning its start and end times.
+func (t *Timeline) Schedule(readyAt, duration float64) (start, end float64) {
+	if duration < 0 {
+		panic(fmt.Sprintf("sim: Timeline %q: negative duration %g", t.Name, duration))
+	}
+	start = t.busyUntil
+	if readyAt > start {
+		start = readyAt
+	}
+	end = start + duration
+	t.busyUntil = end
+	t.busyTotal += duration
+	t.items++
+	return start, end
+}
+
+// ScheduleGroup books k work items that execute concurrently on the engine
+// (the Fig. 6 dependency-graph branches). Every item starts at the later of
+// the engine becoming free and its own ready time; the engine is then busy
+// until the last item ends. Returns the group's end time.
+func (t *Timeline) ScheduleGroup(readyAt, durations []float64) float64 {
+	if len(readyAt) != len(durations) {
+		panic(fmt.Sprintf("sim: Timeline %q: ScheduleGroup with %d ready times and %d durations", t.Name, len(readyAt), len(durations)))
+	}
+	free := t.busyUntil
+	groupEnd := free
+	for i, dur := range durations {
+		if dur < 0 {
+			panic(fmt.Sprintf("sim: Timeline %q: negative duration %g", t.Name, dur))
+		}
+		start := free
+		if readyAt[i] > start {
+			start = readyAt[i]
+		}
+		if end := start + dur; end > groupEnd {
+			groupEnd = end
+		}
+		t.busyTotal += dur
+		t.items++
+	}
+	t.busyUntil = groupEnd
+	return groupEnd
+}
+
+// BusyUntil returns the time the engine becomes free.
+func (t *Timeline) BusyUntil() float64 { return t.busyUntil }
+
+// BusyTotal returns the accumulated busy time (excludes idle gaps).
+func (t *Timeline) BusyTotal() float64 { return t.busyTotal }
+
+// Items returns the number of scheduled work items.
+func (t *Timeline) Items() int { return t.items }
+
+// Reset clears the timeline.
+func (t *Timeline) Reset() {
+	t.busyUntil = 0
+	t.busyTotal = 0
+	t.items = 0
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phideep/internal/kernels"
+)
+
+// TestOpTimePositiveAndFinite property-checks the cost model across random
+// op descriptors on every platform: simulated times are always positive and
+// finite, and more cores never make a parallel op slower.
+func TestOpTimePositiveAndFinite(t *testing.T) {
+	archs := []*Arch{XeonPhi5110P(), XeonE5620Core(), XeonE5620Full(), XeonE5620Dual(), MatlabR2012a(), TeslaK20X()}
+	f := func(archIdx uint8, kindRaw, lvlRaw uint8, m, k, n uint16, elems uint32, vector bool) bool {
+		a := archs[int(archIdx)%len(archs)]
+		op := Op{
+			Kind:   OpKind(int(kindRaw) % 4),
+			M:      int(m)%2048 + 1,
+			K:      int(k)%2048 + 1,
+			N:      int(n)%2048 + 1,
+			Elems:  int(elems)%1_000_000 + 1,
+			Level:  kernels.Levels[int(lvlRaw)%len(kernels.Levels)],
+			Vector: vector,
+		}
+		tm := a.OpTime(op)
+		if !(tm > 0) || tm != tm /* NaN */ {
+			return false
+		}
+		if op.Level.IsParallel() && a.Cores >= 2 {
+			half := op
+			half.Cores = a.Cores / 2
+			fullT := a.OpTime(op)
+			halfT := a.OpTime(half)
+			// Allow equality (bandwidth-saturated regimes) but halving
+			// the cores must never speed a compute/memory-bound op by
+			// more than the sync-cost difference.
+			slack := a.SyncCost(op.Cores*a.ThreadsPerCore) + a.SyncCost(half.Cores*a.ThreadsPerCore) + 1e-12
+			if halfT+slack < fullT {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransferTimeMonotone property-checks the PCIe model.
+func TestTransferTimeMonotone(t *testing.T) {
+	phi := XeonPhi5110P()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return phi.TransferTime(x) <= phi.TransferTime(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncCostMonotoneInThreads property-checks the fork/join model.
+func TestSyncCostMonotoneInThreads(t *testing.T) {
+	for _, a := range []*Arch{XeonPhi5110P(), XeonE5620Dual(), TeslaK20X()} {
+		prev := 0.0
+		for threads := 1; threads <= 256; threads *= 2 {
+			c := a.SyncCost(threads)
+			if c < prev {
+				t.Fatalf("%s: sync cost fell from %g to %g at %d threads", a.Name, prev, c, threads)
+			}
+			prev = c
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phideep/internal/kernels"
+)
+
+func TestClockMonotone(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(0)
+	if c.Now() != 1.5 {
+		t.Fatalf("Now %g", c.Now())
+	}
+	c.AdvanceTo(1.0) // earlier: no-op
+	if c.Now() != 1.5 {
+		t.Fatal("AdvanceTo went backwards")
+	}
+	c.AdvanceTo(2.0)
+	if c.Now() != 2.0 {
+		t.Fatal("AdvanceTo failed")
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance should panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestTimelineScheduling(t *testing.T) {
+	tl := Timeline{Name: "test"}
+	s, e := tl.Schedule(0, 2)
+	if s != 0 || e != 2 {
+		t.Fatalf("first item [%g, %g)", s, e)
+	}
+	// Ready before engine free: starts when engine frees.
+	s, e = tl.Schedule(1, 3)
+	if s != 2 || e != 5 {
+		t.Fatalf("second item [%g, %g)", s, e)
+	}
+	// Ready after engine free: idle gap.
+	s, e = tl.Schedule(10, 1)
+	if s != 10 || e != 11 {
+		t.Fatalf("third item [%g, %g)", s, e)
+	}
+	if tl.BusyTotal() != 6 {
+		t.Fatalf("busy total %g", tl.BusyTotal())
+	}
+	if tl.BusyUntil() != 11 {
+		t.Fatalf("busy until %g", tl.BusyUntil())
+	}
+	if tl.Items() != 3 {
+		t.Fatalf("items %d", tl.Items())
+	}
+	tl.Reset()
+	if tl.BusyUntil() != 0 || tl.BusyTotal() != 0 || tl.Items() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestTimelineScheduleGroup(t *testing.T) {
+	tl := Timeline{Name: "g"}
+	tl.Schedule(0, 5)
+	// Three concurrent items: end = free(5) + max(duration, ready-shift).
+	end := tl.ScheduleGroup([]float64{0, 0, 7}, []float64{1, 3, 1})
+	if end != 8 { // item 3 ready at 7, runs 1 → ends 8 (> 5+3)
+		t.Fatalf("group end %g", end)
+	}
+	if tl.BusyTotal() != 5+1+3+1 {
+		t.Fatalf("group busy total %g", tl.BusyTotal())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched group lengths should panic")
+		}
+	}()
+	tl.ScheduleGroup([]float64{0}, []float64{1, 2})
+}
+
+func TestTimelineNegativeDurationPanics(t *testing.T) {
+	tl := Timeline{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tl.Schedule(0, -1)
+}
+
+func TestOpTimeLadderOrderingGemm(t *testing.T) {
+	phi := XeonPhi5110P()
+	op := func(lvl kernels.Level, vector bool) Op {
+		return Op{Kind: OpGemm, M: 1000, K: 1024, N: 4096, Level: lvl, Vector: vector}
+	}
+	tNaive := phi.OpTime(op(kernels.Naive, false))
+	tPar := phi.OpTime(op(kernels.Parallel, false))
+	tMKL := phi.OpTime(op(kernels.ParallelBlocked, true))
+	if !(tNaive > tPar && tPar > tMKL) {
+		t.Fatalf("ladder not monotone: naive=%g parallel=%g mkl=%g", tNaive, tPar, tMKL)
+	}
+	// The full ladder spans two-plus orders of magnitude, as in Table I.
+	if tNaive/tMKL < 50 {
+		t.Fatalf("naive/mkl ratio only %g", tNaive/tMKL)
+	}
+}
+
+func TestOpTimeMonotoneInWork(t *testing.T) {
+	phi := XeonPhi5110P()
+	f := func(scale uint8) bool {
+		k := int(scale)%64 + 1
+		small := phi.OpTime(Op{Kind: OpGemm, M: 100, K: 64 * k, N: 256, Level: kernels.ParallelBlocked, Vector: true})
+		big := phi.OpTime(Op{Kind: OpGemm, M: 200, K: 64 * k, N: 256, Level: kernels.ParallelBlocked, Vector: true})
+		return big > small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFewerCoresSlower(t *testing.T) {
+	phi := XeonPhi5110P()
+	op60 := Op{Kind: OpGemm, M: 10000, K: 1024, N: 512, Level: kernels.ParallelBlocked, Vector: true, Cores: 60}
+	op30 := op60
+	op30.Cores = 30
+	t60, t30 := phi.OpTime(op60), phi.OpTime(op30)
+	if t30 <= t60 {
+		t.Fatalf("30 cores (%g) not slower than 60 (%g)", t30, t60)
+	}
+	// Sub-linear scaling (sync + ramp): doubling cores buys < 2x.
+	if t30/t60 >= 2 {
+		t.Fatalf("core scaling superlinear: %g", t30/t60)
+	}
+}
+
+func TestSyncCostChargedOnceWhenFused(t *testing.T) {
+	phi := XeonPhi5110P()
+	op := Op{Kind: OpElem, Elems: 1000, FlopsPerElem: 1, Level: kernels.Parallel}
+	fused := op
+	fused.Fused = true
+	if phi.OpTime(op)-phi.OpTime(fused) <= 0 {
+		t.Fatal("fused op not cheaper")
+	}
+	diff := phi.OpTime(op) - phi.OpTime(fused)
+	want := phi.SyncCost(60 * 4)
+	if math.Abs(diff-want) > 1e-12 {
+		t.Fatalf("fusion saving %g, want sync cost %g", diff, want)
+	}
+}
+
+func TestSequentialLevelsUseOneCore(t *testing.T) {
+	phi := XeonPhi5110P()
+	op := Op{Kind: OpGemm, M: 100, K: 100, N: 100, Level: kernels.Naive, Cores: 60}
+	// Cores request must be ignored for sequential levels.
+	same := Op{Kind: OpGemm, M: 100, K: 100, N: 100, Level: kernels.Naive, Cores: 1}
+	if phi.OpTime(op) != phi.OpTime(same) {
+		t.Fatal("sequential level affected by core count")
+	}
+	if phi.SyncCost(1) != 0 {
+		t.Fatal("single-thread sync cost must be zero")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	phi := XeonPhi5110P()
+	small := phi.TransferTime(8)
+	if small < phi.PCIeLatency {
+		t.Fatal("latency not charged")
+	}
+	gb := int64(1) << 30
+	big := phi.TransferTime(gb)
+	wantBW := float64(gb) / phi.PCIeBW
+	if big < wantBW || big > wantBW+2*phi.PCIeLatency {
+		t.Fatalf("1 GiB transfer %g, bandwidth component %g", big, wantBW)
+	}
+	host := XeonE5620Core()
+	if host.TransferTime(gb) != 0 {
+		t.Fatal("host arch must not charge PCIe time")
+	}
+}
+
+func TestPaperTransferCalibration(t *testing.T) {
+	// §IV.A measures 13 s of transfer against 68 s of training for
+	// 10,000×4096-sample chunks, i.e. transfers are ≈16% of the
+	// unoverlapped total. With the calibrated effective goodput, one
+	// 327 MB chunk should take a few hundred milliseconds — large enough
+	// to matter (double-digit share) and small enough to hide behind a
+	// chunk's compute.
+	phi := XeonPhi5110P()
+	chunk := phi.TransferTime(10000 * 4096 * 8)
+	if chunk < 0.1 || chunk > 1.0 {
+		t.Fatalf("chunk transfer %g s outside plausible range", chunk)
+	}
+}
+
+func TestMatlabOverheadCharged(t *testing.T) {
+	matlab := MatlabR2012a()
+	host := XeonE5620Full()
+	op := Op{Kind: OpElem, Elems: 10, FlopsPerElem: 1, Level: kernels.ParallelBlocked, Vector: true}
+	if matlab.OpTime(op)-host.OpTime(op) < matlab.PerOpOverhead/2 {
+		t.Fatal("Matlab per-op overhead not visible on small ops")
+	}
+}
+
+func TestIssueUtilSingleThreadPenaltyOnPhi(t *testing.T) {
+	phi := XeonPhi5110P()
+	// The in-order Phi core needs 2 threads to fill its pipeline.
+	one := phi.ScalarPeak(1, 1)
+	two := phi.ScalarPeak(1, 2)
+	if math.Abs(two/one-2) > 1e-9 {
+		t.Fatalf("expected 2x issue penalty, got %g", two/one)
+	}
+	xeon := XeonE5620Core()
+	if xeon.ScalarPeak(1, 1) != xeon.ClockHz*xeon.ScalarFPC {
+		t.Fatal("out-of-order Xeon core should not be issue-penalized")
+	}
+}
+
+func TestVectorPeaks(t *testing.T) {
+	phi := XeonPhi5110P()
+	peak := phi.VectorPeak(60, 4)
+	// 60 cores × 1.053 GHz × 8 lanes × 2 (FMA) ≈ 1.01 TFLOP/s.
+	if peak < 0.95e12 || peak > 1.1e12 {
+		t.Fatalf("Phi DP peak %g", peak)
+	}
+	xeon := XeonE5620Full()
+	if xeon.VectorPeak(4, 2) > 0.1e12 {
+		t.Fatal("Xeon peak implausibly high")
+	}
+}
+
+func TestOpFlopsAndBytes(t *testing.T) {
+	g := Op{Kind: OpGemm, M: 2, K: 3, N: 4, Level: kernels.Naive}
+	if g.Flops() != 2*2*3*4 {
+		t.Fatalf("gemm flops %g", g.Flops())
+	}
+	e := Op{Kind: OpElem, Elems: 10, FlopsPerElem: 3, BytesPerElem: 24}
+	if e.Flops() != 30 || e.Bytes() != 240 {
+		t.Fatalf("elem flops %g bytes %g", e.Flops(), e.Bytes())
+	}
+	// Defaults.
+	d := Op{Kind: OpElem, Elems: 10}
+	if d.Flops() != 10 || d.Bytes() != 160 {
+		t.Fatalf("elem defaults flops %g bytes %g", d.Flops(), d.Bytes())
+	}
+	// Naive gemm charges more traffic than blocked.
+	naive := Op{Kind: OpGemm, M: 10, K: 10, N: 10, Level: kernels.Naive}
+	blocked := Op{Kind: OpGemm, M: 10, K: 10, N: 10, Level: kernels.ParallelBlocked}
+	if naive.Bytes() <= blocked.Bytes() {
+		t.Fatal("naive reuse model wrong")
+	}
+}
+
+func TestGemmEffRampGrowsWithSize(t *testing.T) {
+	phi := XeonPhi5110P()
+	smallOp := Op{Kind: OpGemm, M: 200, K: 1024, N: 4096, Level: kernels.ParallelBlocked, Vector: true}
+	bigOp := Op{Kind: OpGemm, M: 10000, K: 1024, N: 4096, Level: kernels.ParallelBlocked, Vector: true}
+	smallRate := phi.GemmRate(smallOp)
+	bigRate := phi.GemmRate(bigOp)
+	if bigRate <= smallRate {
+		t.Fatalf("efficiency ramp missing: small %g big %g", smallRate, bigRate)
+	}
+	// Big multiplies approach the calibrated asymptote.
+	asym := phi.GemmEffVector * phi.VectorPeak(60, 4)
+	if bigRate < 0.8*asym {
+		t.Fatalf("big rate %g below 80%% of asymptote %g", bigRate, asym)
+	}
+}
+
+func TestOpKindAndArchStrings(t *testing.T) {
+	for _, k := range []OpKind{OpGemm, OpElem, OpReduce, OpSample} {
+		if k.String() == "" {
+			t.Fatal("empty OpKind name")
+		}
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatal("unknown kind formatting")
+	}
+	for _, a := range []*Arch{XeonPhi5110P(), XeonE5620Core(), XeonE5620Full(), MatlabR2012a()} {
+		if a.Name == "" {
+			t.Fatal("unnamed arch")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+
+	"phideep/internal/core"
+	"phideep/internal/data"
+	"phideep/internal/device"
+	"phideep/internal/rbm"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+func trainCfg() core.TrainConfig {
+	return core.TrainConfig{Iterations: 20, LR: 0.5, ChunkExamples: 40, Prefetch: true}
+}
+
+func TestPretrainAutoencodersNumeric(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), true, nil)
+	ctx := core.NewContext(dev, core.Improved, 0, 1)
+	cfg := Config{Sizes: []int{64, 24, 8}, Lambda: 1e-5, Batch: 10, LR: 0.5}
+	src := data.NewDigits(8, 80, 5, 0.02)
+	res, err := PretrainAutoencoders(ctx, trainCfg(), cfg, src, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 2 {
+		t.Fatalf("layers %d", len(res.Layers))
+	}
+	l0, l1 := res.Layers[0], res.Layers[1]
+	if l0.Visible != 64 || l0.Hidden != 24 || l1.Visible != 24 || l1.Hidden != 8 {
+		t.Fatal("layer geometry wrong")
+	}
+	if l0.AE == nil || l1.AE == nil || l0.RBM != nil {
+		t.Fatal("parameter kinds wrong")
+	}
+	if l0.AE.W1.Rows != 64 || l0.AE.W1.Cols != 24 {
+		t.Fatal("layer 0 weights shape")
+	}
+	if res.SimSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	// Layer-1 training time accumulates after layer 0.
+	if !(l1.Train.SimSeconds > l0.Train.SimSeconds) {
+		t.Fatal("simulated time did not accumulate across layers")
+	}
+	// Each layer's training must make progress.
+	if !(l0.Train.FinalLoss < l0.Train.FirstLoss) {
+		t.Fatalf("layer 0 did not learn: %g → %g", l0.Train.FirstLoss, l0.Train.FinalLoss)
+	}
+	// The model buffers must have been freed (only no residual leak —
+	// ring buffers and models are released after each layer).
+	if dev.Allocated() != 0 {
+		t.Fatalf("%d bytes leaked", dev.Allocated())
+	}
+}
+
+func TestPretrainDBNNumeric(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), true, nil)
+	ctx := core.NewContext(dev, core.OpenMPMKL, 0, 2)
+	cfg := Config{Sizes: []int{32, 12, 6}, Batch: 10, LR: 0.3, RBM: rbm.Config{SampleHidden: true}}
+	bits := tensor.NewMatrix(60, 32)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 32; j++ {
+			if (i+j)%3 == 0 {
+				bits.Set(i, j, 1)
+			}
+		}
+	}
+	res, err := PretrainDBN(ctx, trainCfg(), cfg, data.InMemory{X: bits}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 2 {
+		t.Fatalf("layers %d", len(res.Layers))
+	}
+	if res.Layers[0].RBM == nil || res.Layers[0].AE != nil {
+		t.Fatal("parameter kinds wrong")
+	}
+	if res.Layers[0].RBM.W.Rows != 32 || res.Layers[0].RBM.W.Cols != 12 {
+		t.Fatal("RBM weight shape")
+	}
+	if dev.Allocated() != 0 {
+		t.Fatalf("%d bytes leaked", dev.Allocated())
+	}
+}
+
+func TestPretrainModelOnly(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), false, nil)
+	ctx := core.NewContext(dev, core.Improved, 0, 3)
+	cfg := Config{Sizes: []int{1024, 512, 256, 128}, Batch: 100, LR: 0.1}
+	tc := core.TrainConfig{Iterations: 5, LR: 0.1, ChunkExamples: 500, Prefetch: true}
+	res, err := PretrainAutoencoders(ctx, tc, cfg, data.Null{D: 1024, N: 10000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 3 {
+		t.Fatalf("layers %d", len(res.Layers))
+	}
+	if res.SimSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	// Later layers are smaller, so per-layer increments must shrink.
+	d01 := res.Layers[1].Train.SimSeconds - res.Layers[0].Train.SimSeconds
+	if !(d01 < res.Layers[0].Train.SimSeconds) {
+		t.Fatal("layer 1 (smaller) not cheaper than layer 0")
+	}
+}
+
+func TestEncodedSourceAppliesEncoder(t *testing.T) {
+	base := data.InMemory{X: tensor.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})}
+	enc := &Encoded{Base: base, Hidden: 1, Encode: func(x, y []float64) { y[0] = x[0] + x[1] }}
+	if enc.Dim() != 1 || enc.Len() != 3 {
+		t.Fatal("geometry")
+	}
+	dst := tensor.NewMatrix(2, 1)
+	enc.Chunk(1, 2, dst)
+	if dst.At(0, 0) != 7 || dst.At(1, 0) != 11 {
+		t.Fatalf("encode wrong: %v", dst)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad destination should panic")
+		}
+	}()
+	enc.Chunk(0, 2, tensor.NewMatrix(2, 3))
+}
+
+func TestConfigValidation(t *testing.T) {
+	dev := device.New(sim.XeonPhi5110P(), false, nil)
+	ctx := core.NewContext(dev, core.Improved, 0, 1)
+	cases := []struct {
+		cfg  Config
+		src  data.Source
+		want string
+	}{
+		{Config{Sizes: []int{5}, Batch: 2}, data.Null{D: 5, N: 10}, "two layer sizes"},
+		{Config{Sizes: []int{5, 0}, Batch: 2}, data.Null{D: 5, N: 10}, "non-positive size"},
+		{Config{Sizes: []int{5, 3}, Batch: 0}, data.Null{D: 5, N: 10}, "batch"},
+		{Config{Sizes: []int{5, 3}, Batch: 2}, data.Null{D: 9, N: 10}, "source dim"},
+	}
+	tc := core.TrainConfig{Iterations: 1, LR: 0.1}
+	for _, c := range cases {
+		if _, err := PretrainAutoencoders(ctx, tc, c.cfg, c.src, 1); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("cfg %+v: err %v, want %q", c.cfg, err, c.want)
+		}
+		if _, err := PretrainDBN(ctx, tc, c.cfg, c.src, 1); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("DBN cfg %+v: err %v, want %q", c.cfg, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package tensor implements the dense float64 matrices and vectors that all
+// phideep model math is written against.
+//
+// Matrices are row-major with an explicit stride, so a Matrix can be either
+// an owner of its backing slice or a rectangular view into another matrix
+// (used by the minibatch loop to walk a data chunk without copying).
+// The package deliberately contains no compute kernels beyond trivial
+// element access; GEMM and friends live in internal/kernels so that the
+// optimization levels of the paper (naive, blocked, parallel, "MKL") stay
+// in one place.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/rng"
+)
+
+// Matrix is a dense row-major matrix. Element (i, j) lives at
+// Data[i*Stride+j]. Rows*Cols may be smaller than len(Data) when the matrix
+// is a view. The zero value is an empty matrix.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d): negative dimension", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (row-major, length r*c) as an r×c matrix without
+// copying. The caller must not alias the slice elsewhere with a different
+// shape in mind.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice(%d, %d): need %d elements, got %d", r, c, r*c, len(data)))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: c, Data: data}
+}
+
+// FromRows builds a matrix from a slice of equally long rows, copying.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("tensor: FromRows: row %d has %d elements, want %d", i, len(row), c))
+		}
+		copy(m.RowView(i), row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.Data[i*m.Stride+j] = v
+}
+
+func (m *Matrix) checkIndex(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d, %d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// RowView returns row i as a slice sharing the matrix's storage.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// RowsView returns rows [i, j) as a matrix view sharing storage with m.
+func (m *Matrix) RowsView(i, j int) *Matrix {
+	if i < 0 || j < i || j > m.Rows {
+		panic(fmt.Sprintf("tensor: rows [%d, %d) out of range %d", i, j, m.Rows))
+	}
+	return &Matrix{Rows: j - i, Cols: m.Cols, Stride: m.Stride, Data: m.Data[i*m.Stride:]}
+}
+
+// IsView reports whether m shares storage laid out with gaps (stride larger
+// than cols) or is a window over a larger backing slice.
+func (m *Matrix) IsView() bool {
+	return m.Stride != m.Cols || len(m.Data) != m.Rows*m.Cols
+}
+
+// Contiguous returns m if its rows are densely packed, or a packed copy.
+func (m *Matrix) Contiguous() *Matrix {
+	if m.Stride == m.Cols && len(m.Data) == m.Rows*m.Cols {
+		return m
+	}
+	return m.Clone()
+}
+
+// Clone returns a packed deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.RowView(i), m.RowView(i))
+	}
+	return out
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch: %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.RowView(i), src.RowView(i))
+	}
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Apply sets each element to f(element), in place, and returns m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			row[j] = f(v)
+		}
+	}
+	return m
+}
+
+// Randomize fills m with uniform values in [lo, hi).
+func (m *Matrix) Randomize(r *rng.RNG, lo, hi float64) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = r.Uniform(lo, hi)
+		}
+	}
+	return m
+}
+
+// RandomizeNorm fills m with N(0, sigma²) values.
+func (m *Matrix) RandomizeNorm(r *rng.RNG, sigma float64) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = sigma * r.Norm()
+		}
+	}
+	return m
+}
+
+// T returns a packed transpose copy of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			out.Data[j*out.Stride+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.RowView(i), b.RowView(i)
+		for j := range ra {
+			if math.Abs(ra[j]-rb[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b. It panics on shape mismatch.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	max := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.RowView(i), b.RowView(i)
+		for j := range ra {
+			if d := math.Abs(ra[j] - rb[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.RowView(i) {
+			s += v
+		}
+	}
+	return s
+}
+
+// SumSquares returns the sum of squared elements (squared Frobenius norm).
+func (m *Matrix) SumSquares() float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.RowView(i) {
+			s += v * v
+		}
+	}
+	return s
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 { return math.Sqrt(m.SumSquares()) }
+
+// Mean returns the arithmetic mean of all elements; 0 for an empty matrix.
+func (m *Matrix) Mean() float64 {
+	n := m.Rows * m.Cols
+	if n == 0 {
+		return 0
+	}
+	return m.Sum() / float64(n)
+}
+
+// ColMeans returns the per-column mean of m as a length-Cols vector:
+// out[j] = mean_i m[i,j]. Used for the average hidden activation ρ̂ of the
+// sparse autoencoder.
+func (m *Matrix) ColMeans() []float64 {
+	out := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return out
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// String renders small matrices for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		row := m.RowView(i)
+		for j, v := range row {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", v)
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"phideep/internal/rng"
+)
+
+func TestNewMatrixAndAccess(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad geometry: %+v", m)
+	}
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if m.Data[11] != 7 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, 2) },
+		func() { m.At(-1, 0) },
+		func() { m.Set(0, -1, 1) },
+		func() { m.RowView(2) },
+		func() { m.RowsView(1, 3) },
+		func() { NewMatrix(-1, 2) },
+		func() { FromSlice(2, 2, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRowsViewSharesStorage(t *testing.T) {
+	m := NewMatrix(5, 3)
+	v := m.RowsView(1, 4)
+	if v.Rows != 3 || v.Cols != 3 {
+		t.Fatalf("view geometry %dx%d", v.Rows, v.Cols)
+	}
+	v.Set(0, 0, 42)
+	if m.At(1, 0) != 42 {
+		t.Fatal("view does not alias parent")
+	}
+	if !v.IsView() {
+		t.Fatal("RowsView not detected as view")
+	}
+	if m.IsView() {
+		t.Fatal("owner misdetected as view")
+	}
+	c := v.Contiguous()
+	if c == v {
+		t.Fatal("Contiguous must copy a view over a larger backing slice")
+	}
+	if !Equal(c, v.Clone(), 0) {
+		t.Fatal("Contiguous copy differs")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases source")
+	}
+	if FromRows(nil).Rows != 0 {
+		t.Fatal("empty FromRows")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows should panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestCopyFromAndZeroFill(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrix(2, 2)
+	b.CopyFrom(a)
+	if !Equal(a, b, 0) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	b.Fill(5)
+	if b.Sum() != 20 {
+		t.Fatal("Fill wrong")
+	}
+	b.Zero()
+	if b.Sum() != 0 {
+		t.Fatal("Zero wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom shape mismatch should panic")
+		}
+	}()
+	b.CopyFrom(NewMatrix(1, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64, rRaw, cRaw uint8) bool {
+		r := int(rRaw)%20 + 1
+		c := int(cRaw)%20 + 1
+		m := NewMatrix(r, c).Randomize(rng.New(seed), -1, 1)
+		tt := m.T().T()
+		return Equal(m, tt, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeElements(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %v", tr)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {3, 4}})
+	if m.Sum() != 6 {
+		t.Fatalf("Sum %g", m.Sum())
+	}
+	if m.SumSquares() != 1+4+9+16 {
+		t.Fatalf("SumSquares %g", m.SumSquares())
+	}
+	if math.Abs(m.FrobeniusNorm()-math.Sqrt(30)) > 1e-15 {
+		t.Fatal("FrobeniusNorm")
+	}
+	if m.Mean() != 1.5 {
+		t.Fatalf("Mean %g", m.Mean())
+	}
+	if NewMatrix(0, 0).Mean() != 0 {
+		t.Fatal("empty Mean")
+	}
+	cm := m.ColMeans()
+	if cm[0] != 2 || cm[1] != 1 {
+		t.Fatalf("ColMeans %v", cm)
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1, 2.5}})
+	if Equal(a, b, 0.4) {
+		t.Fatal("should differ at tol 0.4")
+	}
+	if !Equal(a, b, 0.6) {
+		t.Fatal("should match at tol 0.6")
+	}
+	if Equal(a, NewMatrix(2, 1), 10) {
+		t.Fatal("shape mismatch must be unequal")
+	}
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff %g", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxAbsDiff shape mismatch should panic")
+		}
+	}()
+	MaxAbsDiff(a, NewMatrix(2, 1))
+}
+
+func TestRandomizeRanges(t *testing.T) {
+	r := rng.New(20)
+	m := NewMatrix(30, 30).Randomize(r, -2, 5)
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.RowView(i) {
+			if v < -2 || v >= 5 {
+				t.Fatalf("Randomize out of range: %g", v)
+			}
+		}
+	}
+	g := NewMatrix(100, 100).RandomizeNorm(r, 2)
+	mean := g.Mean()
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("RandomizeNorm mean %g", mean)
+	}
+	variance := g.SumSquares()/10000 - mean*mean
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("RandomizeNorm variance %g", variance)
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromRows([][]float64{{1, 4}, {9, 16}})
+	m.Apply(math.Sqrt)
+	if !Equal(m, FromRows([][]float64{{1, 2}, {3, 4}}), 1e-15) {
+		t.Fatal("Apply failed")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if s := small.String(); !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Fatalf("small String: %q", s)
+	}
+	big := NewMatrix(20, 20)
+	if s := big.String(); !strings.Contains(s, "20x20") {
+		t.Fatalf("big String: %q", s)
+	}
+}

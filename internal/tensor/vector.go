@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/rng"
+)
+
+// Vector is a dense float64 vector with convenience helpers. It is a named
+// slice type, so ordinary slice operations (len, indexing, range, append)
+// work directly.
+type Vector []float64
+
+// NewVector allocates a zeroed length-n vector.
+func NewVector(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: NewVector(%d): negative length", n))
+	}
+	return make(Vector, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Apply sets each element to f(element) in place and returns v.
+func (v Vector) Apply(f func(float64) float64) Vector {
+	for i, x := range v {
+		v[i] = f(x)
+	}
+	return v
+}
+
+// Randomize fills v with uniform values in [lo, hi).
+func (v Vector) Randomize(r *rng.RNG, lo, hi float64) Vector {
+	for i := range v {
+		v[i] = r.Uniform(lo, hi)
+	}
+	return v
+}
+
+// Sum returns the sum of the elements.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of v and w; lengths must match.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch: %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element, or 0 for an empty vector.
+func (v Vector) MaxAbs() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AsRow wraps v as a 1×n matrix sharing storage.
+func (v Vector) AsRow() *Matrix { return FromSlice(1, len(v), v) }
+
+// AsCol wraps v as an n×1 matrix sharing storage.
+func (v Vector) AsCol() *Matrix { return FromSlice(len(v), 1, v) }
+
+// EqualVec reports whether a and b have the same length and elements
+// within tol.
+func EqualVec(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

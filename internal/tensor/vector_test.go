@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"phideep/internal/rng"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if len(v) != 3 {
+		t.Fatal("length")
+	}
+	v.Fill(2)
+	if v.Sum() != 6 {
+		t.Fatal("Fill/Sum")
+	}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 2 {
+		t.Fatal("Clone aliases")
+	}
+	v.Zero()
+	if v.Sum() != 0 {
+		t.Fatal("Zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVector(-1) should panic")
+		}
+	}()
+	NewVector(-1)
+}
+
+func TestVectorMath(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, -5, 6}
+	if a.Dot(b) != 4-10+18 {
+		t.Fatalf("Dot %g", a.Dot(b))
+	}
+	if math.Abs(a.Norm2()-math.Sqrt(14)) > 1e-15 {
+		t.Fatal("Norm2")
+	}
+	if b.MaxAbs() != 6 {
+		t.Fatal("MaxAbs")
+	}
+	if (Vector{}).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs")
+	}
+	a.Apply(func(x float64) float64 { return -x })
+	if !EqualVec(a, Vector{-1, -2, -3}, 0) {
+		t.Fatal("Apply")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch should panic")
+		}
+	}()
+	a.Dot(Vector{1})
+}
+
+func TestVectorMatrixViews(t *testing.T) {
+	v := Vector{1, 2, 3}
+	row := v.AsRow()
+	if row.Rows != 1 || row.Cols != 3 || row.At(0, 2) != 3 {
+		t.Fatal("AsRow")
+	}
+	row.Set(0, 0, 10)
+	if v[0] != 10 {
+		t.Fatal("AsRow does not share storage")
+	}
+	col := v.AsCol()
+	if col.Rows != 3 || col.Cols != 1 || col.At(2, 0) != 3 {
+		t.Fatal("AsCol")
+	}
+}
+
+func TestVectorRandomizeAndEqual(t *testing.T) {
+	v := NewVector(100).Randomize(rng.New(1), 0, 1)
+	for _, x := range v {
+		if x < 0 || x >= 1 {
+			t.Fatalf("out of range %g", x)
+		}
+	}
+	if EqualVec(Vector{1}, Vector{1, 2}, 1) {
+		t.Fatal("length mismatch must be unequal")
+	}
+	if !EqualVec(Vector{1, 2}, Vector{1.05, 2}, 0.1) {
+		t.Fatal("tolerance ignored")
+	}
+}

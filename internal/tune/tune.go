@@ -1,0 +1,147 @@
+// Package tune automates the paper's first future-work item: "a balance
+// should be found between parallelism and synchronization. For now, we need
+// to adjust the number of threads manually in our implementation."
+//
+// The tuner searches execution configurations — physical cores, hardware
+// threads per core, loop fusion — against the simulated cost model, which
+// evaluates a whole training run in microseconds. The returned
+// configuration is what a manual tuner on real silicon would converge to:
+// e.g. two hardware threads per Phi core saturate the in-order pipeline
+// while halving the fork/join fan-out, so the tuner prefers them over four
+// for synchronization-bound workloads.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/core"
+	"phideep/internal/data"
+	"phideep/internal/device"
+	"phideep/internal/sim"
+)
+
+// Candidate is one execution configuration under consideration.
+type Candidate struct {
+	Cores          int
+	ThreadsPerCore int
+	Fuse           bool
+}
+
+func (c Candidate) String() string {
+	fuse := "unfused"
+	if c.Fuse {
+		fuse = "fused"
+	}
+	return fmt.Sprintf("%d cores x %d threads, %s", c.Cores, c.ThreadsPerCore, fuse)
+}
+
+// Scored is a candidate with its evaluated simulated time.
+type Scored struct {
+	Candidate
+	SimSeconds float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best Scored
+	// All holds every evaluated candidate, fastest first.
+	All []Scored
+}
+
+// Objective evaluates a candidate, returning the simulated seconds of the
+// workload under that configuration (lower is better).
+type Objective func(c Candidate) (float64, error)
+
+// GridSearch evaluates every candidate and returns the ranking. It fails if
+// no candidate evaluates successfully.
+func GridSearch(obj Objective, candidates []Candidate) (*Result, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("tune: no candidates")
+	}
+	res := &Result{}
+	var firstErr error
+	for _, c := range candidates {
+		t, err := obj(c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tune: candidate %v: %w", c, err)
+			}
+			continue
+		}
+		res.All = append(res.All, Scored{Candidate: c, SimSeconds: t})
+	}
+	if len(res.All) == 0 {
+		return nil, firstErr
+	}
+	sort.Slice(res.All, func(i, j int) bool { return res.All[i].SimSeconds < res.All[j].SimSeconds })
+	res.Best = res.All[0]
+	return res, nil
+}
+
+// DefaultCandidates enumerates the standard grid for an architecture:
+// cores ∈ {¼, ½, ¾, all}, threads/core ∈ {1..max}, fusion on and off.
+func DefaultCandidates(arch *sim.Arch) []Candidate {
+	var coreOpts []int
+	for _, f := range []float64{0.25, 0.5, 0.75, 1} {
+		c := int(float64(arch.Cores) * f)
+		if c < 1 {
+			c = 1
+		}
+		if len(coreOpts) == 0 || coreOpts[len(coreOpts)-1] != c {
+			coreOpts = append(coreOpts, c)
+		}
+	}
+	var out []Candidate
+	for _, cores := range coreOpts {
+		for tpc := 1; tpc <= arch.ThreadsPerCore; tpc++ {
+			for _, fuse := range []bool{false, true} {
+				out = append(out, Candidate{Cores: cores, ThreadsPerCore: tpc, Fuse: fuse})
+			}
+		}
+	}
+	return out
+}
+
+// AEWorkload describes a Sparse Autoencoder training run to tune for.
+type AEWorkload struct {
+	Arch            *sim.Arch
+	Model           autoencoder.Config
+	Batch           int
+	Iterations      int
+	DatasetExamples int
+}
+
+// Objective returns the tuning objective for the workload: each candidate
+// is evaluated by a timing-only run on a fresh device.
+func (w AEWorkload) Objective() Objective {
+	return func(c Candidate) (float64, error) {
+		if c.Cores < 1 || c.ThreadsPerCore < 1 {
+			return 0, fmt.Errorf("invalid candidate %+v", c)
+		}
+		dev := device.New(w.Arch, false, nil)
+		ctx := core.NewContext(dev, core.Improved, c.Cores, 1)
+		ctx.ThreadsPerCore = c.ThreadsPerCore
+		ctx.AutoFuse = c.Fuse
+		ctx.AutoConcurrent = c.Fuse
+		m, err := autoencoder.New(ctx, w.Model, w.Batch, 1)
+		if err != nil {
+			return 0, err
+		}
+		defer m.Free()
+		tr := &core.Trainer{Dev: dev, Cfg: core.TrainConfig{
+			Iterations: w.Iterations, LR: 0.1, Prefetch: true,
+		}}
+		res, err := tr.Run(m, data.Null{D: w.Model.Visible, N: w.DatasetExamples})
+		if err != nil {
+			return 0, err
+		}
+		return res.SimSeconds, nil
+	}
+}
+
+// Tune searches the default grid for the workload.
+func (w AEWorkload) Tune() (*Result, error) {
+	return GridSearch(w.Objective(), DefaultCandidates(w.Arch))
+}

@@ -1,0 +1,139 @@
+package tune
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/sim"
+)
+
+func testWorkload() AEWorkload {
+	return AEWorkload{
+		Arch:            sim.XeonPhi5110P(),
+		Model:           autoencoder.Config{Visible: 1024, Hidden: 4096},
+		Batch:           1000,
+		Iterations:      10,
+		DatasetExamples: 100000,
+	}
+}
+
+func TestGridSearchRanksCandidates(t *testing.T) {
+	res, err := testWorkload().Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != len(DefaultCandidates(sim.XeonPhi5110P())) {
+		t.Fatalf("evaluated %d candidates", len(res.All))
+	}
+	for i := 1; i < len(res.All); i++ {
+		if res.All[i].SimSeconds < res.All[i-1].SimSeconds {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	if res.Best.SimSeconds != res.All[0].SimSeconds {
+		t.Fatal("best is not the fastest")
+	}
+}
+
+// TestTunerFindsTheKnownOptimum: the cost model makes 2+ threads/core with
+// fusion and all cores the right choice at this workload; the tuner must
+// find a configuration at least as good as the hand-picked default
+// (60 cores × 4 threads, fused) and must never pick one hardware thread per
+// core (the in-order pipeline stalls at half issue).
+func TestTunerFindsTheKnownOptimum(t *testing.T) {
+	w := testWorkload()
+	res, err := w.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := w.Objective()
+	defaultT, err := obj(Candidate{Cores: 60, ThreadsPerCore: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.SimSeconds > defaultT*(1+1e-12) {
+		t.Fatalf("tuned %v (%g s) worse than the default (%g s)", res.Best.Candidate, res.Best.SimSeconds, defaultT)
+	}
+	if res.Best.ThreadsPerCore == 1 {
+		t.Fatalf("tuner picked 1 thread/core: %v", res.Best.Candidate)
+	}
+	if !res.Best.Fuse {
+		t.Fatalf("tuner rejected loop fusion: %v", res.Best.Candidate)
+	}
+	if res.Best.Cores < 45 {
+		t.Fatalf("tuner gave up most cores on a compute-heavy workload: %v", res.Best.Candidate)
+	}
+}
+
+// TestTunerPrefersFewerThreadsWhenSyncBound: with two hardware threads the
+// Phi pipeline is already full, and fork/join fan-out is halved — so for
+// any workload the model should rank 2 threads/core at least as fast as 4.
+func TestTunerPrefersFewerThreadsWhenSyncBound(t *testing.T) {
+	w := testWorkload()
+	w.Batch, w.Iterations = 200, 50 // launch-overhead-bound regime
+	obj := w.Objective()
+	t2, err := obj(Candidate{Cores: 60, ThreadsPerCore: 2, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := obj(Candidate{Cores: 60, ThreadsPerCore: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 > t4*(1+1e-12) {
+		t.Fatalf("2 threads/core (%g) slower than 4 (%g)", t2, t4)
+	}
+}
+
+func TestDefaultCandidatesCoverGrid(t *testing.T) {
+	cands := DefaultCandidates(sim.XeonPhi5110P())
+	// 4 core options × 4 tpc × 2 fusion = 32.
+	if len(cands) != 32 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+		if c.Cores < 1 || c.Cores > 60 || c.ThreadsPerCore < 1 || c.ThreadsPerCore > 4 {
+			t.Fatalf("candidate out of range: %v", c)
+		}
+	}
+	// Single-core arch collapses the core axis.
+	if n := len(DefaultCandidates(sim.XeonE5620Core())); n != 2 {
+		t.Fatalf("1-core arch yielded %d candidates", n)
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	if _, err := GridSearch(func(Candidate) (float64, error) { return 0, nil }, nil); err == nil {
+		t.Error("empty grid must fail")
+	}
+	boom := errors.New("boom")
+	if _, err := GridSearch(func(Candidate) (float64, error) { return 0, boom }, []Candidate{{1, 1, false}}); err == nil || !errors.Is(err, boom) {
+		t.Errorf("all-failing grid: err %v", err)
+	}
+	// Partial failures are tolerated.
+	calls := 0
+	res, err := GridSearch(func(c Candidate) (float64, error) {
+		calls++
+		if calls == 1 {
+			return 0, boom
+		}
+		return float64(calls), nil
+	}, []Candidate{{1, 1, false}, {2, 1, false}})
+	if err != nil || len(res.All) != 1 {
+		t.Fatalf("partial failure handling wrong: %v %v", res, err)
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	s := Candidate{Cores: 30, ThreadsPerCore: 2, Fuse: true}.String()
+	if !strings.Contains(s, "30") || !strings.Contains(s, "fused") {
+		t.Fatalf("bad string %q", s)
+	}
+}

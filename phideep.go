@@ -1,0 +1,357 @@
+// Package phideep is a Go reproduction of "Training Large Scale Deep Neural
+// Networks on the Intel Xeon Phi Many-core Coprocessor" (Jin, Wang, Gu,
+// Yuan, Huang — IPDPSW 2014): parallel unsupervised pre-training of Sparse
+// Autoencoders and Restricted Boltzmann Machines on a simulated Intel Xeon
+// Phi 5110P, with the paper's full optimization ladder (sequential baseline
+// → OpenMP-style loop parallelism → MKL-grade blocked/vectorized kernels →
+// fused regions with dependency-graph scheduling), its chunked PCIe
+// streaming pipeline with a prefetching loading thread, and its complete
+// evaluation harness (Figs. 7–10, Table I).
+//
+// The package is a facade over the implementation packages in internal/;
+// it exposes everything a downstream user needs:
+//
+//   - Platforms: XeonPhi5110P, XeonE5620Core/Full/Dual, MatlabR2012a — cost
+//     models with simulated clocks. NewMachine binds one to a Device that
+//     either really computes ("numeric") or only accounts time.
+//   - Models: NewAutoencoder (Eqs. 1–6) and NewRBM (Eqs. 7–13), resident on
+//     a device, trainable at any OptLevel.
+//   - Training: Trainer runs Algorithm 1 (chunk streaming + minibatch SGD);
+//     PretrainAutoencoders / PretrainDBN run the greedy layer-wise stacking
+//     of Fig. 1.
+//   - Data: synthetic handwritten-digit images and natural-image patches,
+//     streamed by index (Digits, NaturalPatches), plus InMemory and Null
+//     sources.
+//   - Batch optimizers: CG and LBFGS over host-side reference models.
+//
+// A minimal numeric session:
+//
+//	m := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+//	defer m.Close()
+//	ctx := phideep.NewContext(m.Dev, phideep.Improved, 0, 42)
+//	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
+//		Visible: 64, Hidden: 25, Lambda: 1e-4, Beta: 3, Rho: 0.05,
+//	}, 100, 1)
+//	...
+//	trainer := &phideep.Trainer{Dev: m.Dev, Cfg: phideep.TrainConfig{
+//		Epochs: 10, LR: 0.5, Prefetch: true,
+//	}}
+//	res, err := trainer.Run(ae, phideep.NewDigits(8, 10000, 7, 0.05))
+//	fmt.Println(res.SimSeconds, res.FinalLoss)
+package phideep
+
+import (
+	"phideep/internal/autoencoder"
+	"phideep/internal/blas"
+	"phideep/internal/cluster"
+	"phideep/internal/core"
+	"phideep/internal/data"
+	"phideep/internal/device"
+	"phideep/internal/hybrid"
+	"phideep/internal/kernels"
+	"phideep/internal/mlp"
+	"phideep/internal/opt"
+	"phideep/internal/parallel"
+	"phideep/internal/rbm"
+	"phideep/internal/rng"
+	"phideep/internal/sim"
+	"phideep/internal/stack"
+	"phideep/internal/tensor"
+	"phideep/internal/tune"
+)
+
+// Re-exported core types. These are aliases, so values flow freely between
+// the facade and the internal packages.
+type (
+	// Arch is a simulated platform description (cores, vector width,
+	// bandwidths, synchronization and transfer costs).
+	Arch = sim.Arch
+	// Device is a simulated execution platform with device memory, a
+	// compute engine and a PCIe transfer engine.
+	Device = device.Device
+	// Buffer is a matrix resident in device global memory.
+	Buffer = device.Buffer
+	// Context is an execution configuration (optimization level, core
+	// count, vectorization, fusion) bound to a device.
+	Context = blas.Context
+	// OptLevel is a step of the paper's Table I optimization ladder.
+	OptLevel = core.OptLevel
+	// Trainer runs the paper's Algorithm 1 on a device.
+	Trainer = core.Trainer
+	// TrainConfig parameterizes a Trainer run.
+	TrainConfig = core.TrainConfig
+	// TrainResult summarizes a training run (simulated seconds, losses,
+	// device stats).
+	TrainResult = core.Result
+	// Trainable is any model the Trainer can drive.
+	Trainable = core.Trainable
+	// DeviceStats is a snapshot of device activity counters.
+	DeviceStats = device.Stats
+
+	// Autoencoder is the paper's Sparse Autoencoder resident on a device.
+	Autoencoder = autoencoder.Model
+	// AutoencoderConfig holds its geometry and Eq. 4–5 hyperparameters.
+	AutoencoderConfig = autoencoder.Config
+	// AutoencoderParams is the host-side parameter set.
+	AutoencoderParams = autoencoder.Params
+
+	// RBM is the paper's Restricted Boltzmann Machine resident on a device.
+	RBM = rbm.Model
+	// RBMConfig holds its geometry and CD options.
+	RBMConfig = rbm.Config
+	// RBMParams is the host-side parameter set.
+	RBMParams = rbm.Params
+
+	// Source streams training examples by index.
+	Source = data.Source
+	// InMemory serves examples from a matrix.
+	InMemory = data.InMemory
+	// Digits generates handwritten-digit-like images.
+	Digits = data.Digits
+	// NaturalPatches generates patches from synthetic natural images.
+	NaturalPatches = data.NaturalPatches
+	// Shuffled re-permutes any Source per epoch (deterministic per seed).
+	Shuffled = data.Shuffled
+
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = tensor.Matrix
+	// Vector is a dense float64 vector.
+	Vector = tensor.Vector
+	// RNG is the deterministic generator used across the library.
+	RNG = rng.RNG
+
+	// MLP is a deep sigmoid classifier with a softmax head — the network
+	// that supervised fine-tuning trains after pre-training.
+	MLP = mlp.Model
+	// MLPConfig holds its geometry and hyperparameters.
+	MLPConfig = mlp.Config
+	// MLPParams is the host-side parameter set.
+	MLPParams = mlp.Params
+
+	// StackConfig describes a deep stack for greedy layer-wise
+	// pre-training (Fig. 1).
+	StackConfig = stack.Config
+	// StackResult records a pre-training run.
+	StackResult = stack.Result
+
+	// HybridAE trains one Sparse Autoencoder data-parallel across a host
+	// and a coprocessor (the §VI future-work experiment).
+	HybridAE = hybrid.AE
+	// HybridAEConfig parameterizes the hybrid pair.
+	HybridAEConfig = hybrid.AEConfig
+
+	// Cluster simulates data-parallel training with parameter averaging
+	// across N nodes over a modeled interconnect (the distributed
+	// alternative of the paper's §I/§III framing).
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes it; Interconnect models the network.
+	ClusterConfig = cluster.Config
+	Interconnect  = cluster.Interconnect
+
+	// TuneCandidate is one execution configuration for the auto-tuner;
+	// TuneResult its ranked outcome; TuneAEWorkload a tunable workload.
+	TuneCandidate  = tune.Candidate
+	TuneResult     = tune.Result
+	TuneAEWorkload = tune.AEWorkload
+
+	// AdaptiveLR is a loss-driven learning-rate controller for
+	// TrainConfig.Adaptive; BoldDriver is the classic implementation.
+	AdaptiveLR = opt.AdaptiveLR
+	BoldDriver = opt.BoldDriver
+
+	// Objective is a cost/gradient callback for the batch optimizers.
+	Objective = opt.Objective
+	// CGConfig parameterizes Conjugate Gradient; LBFGSConfig parameterizes
+	// limited-memory BFGS; OptResult summarizes either.
+	CGConfig    = opt.CGConfig
+	LBFGSConfig = opt.LBFGSConfig
+	OptResult   = opt.Result
+)
+
+// The optimization ladder of Table I.
+const (
+	// Baseline is the un-optimized sequential algorithm.
+	Baseline = core.Baseline
+	// OpenMP parallelizes all loops across the cores.
+	OpenMP = core.OpenMP
+	// OpenMPMKL adds MKL-grade blocked, vectorized matrix kernels.
+	OpenMPMKL = core.OpenMPMKL
+	// Improved adds loop fusion and Fig. 6 dependency-graph scheduling.
+	Improved = core.Improved
+)
+
+// Platform constructors.
+var (
+	// XeonPhi5110P is the paper's coprocessor (60 cores, 512-bit VPU).
+	XeonPhi5110P = sim.XeonPhi5110P
+	// XeonE5620Core is one host CPU core — the Figs. 7–9 comparator.
+	XeonE5620Core = sim.XeonE5620Core
+	// XeonE5620Full is the whole 4-core host chip.
+	XeonE5620Full = sim.XeonE5620Full
+	// XeonE5620Dual is a dual-socket host — the abstract's "Intel Xeon
+	// CPU" comparator (7–10×).
+	XeonE5620Dual = sim.XeonE5620Dual
+	// MatlabR2012a is the Fig. 10 baseline.
+	MatlabR2012a = sim.MatlabR2012a
+	// TeslaK20X is a 2013-era GPU comparator (the §III positioning).
+	TeslaK20X = sim.TeslaK20X
+)
+
+// Machine bundles a device with the worker pool that executes its numeric
+// kernels. Close releases the pool.
+type Machine struct {
+	Dev  *Device
+	pool *parallel.Pool
+}
+
+// NewMachine creates a device for the given platform. numeric selects real
+// kernel execution (plus simulated timing) versus timing-only; workers sets
+// the host worker pool size for numeric parallel kernels (0 = GOMAXPROCS,
+// ignored when numeric is false).
+func NewMachine(arch *Arch, numeric bool, workers int) *Machine {
+	var pool *parallel.Pool
+	if numeric {
+		pool = parallel.NewPool(workers)
+	}
+	return &Machine{Dev: device.New(arch, numeric, pool), pool: pool}
+}
+
+// Close stops the machine's worker pool. The device must not execute
+// numeric kernels afterwards.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+	}
+}
+
+// NewContext builds an execution context for the given ladder level on the
+// device. cores limits the physical cores (0 = all). The context seeds the
+// sampling RNG with seed, so runs are reproducible.
+func NewContext(dev *Device, lvl OptLevel, cores int, seed uint64) *Context {
+	return core.NewContext(dev, lvl, cores, seed)
+}
+
+// NewAutoencoder allocates a Sparse Autoencoder for the given batch size on
+// the context's device, initialized from seed.
+func NewAutoencoder(ctx *Context, cfg AutoencoderConfig, batch int, seed uint64) (*Autoencoder, error) {
+	return autoencoder.New(ctx, cfg, batch, seed)
+}
+
+// NewRBM allocates a Restricted Boltzmann Machine for the given batch size
+// on the context's device, initialized from seed.
+func NewRBM(ctx *Context, cfg RBMConfig, batch int, seed uint64) (*RBM, error) {
+	return rbm.New(ctx, cfg, batch, seed)
+}
+
+// NewMLP allocates a deep softmax classifier for supervised fine-tuning.
+// Use (*MLP).InitFromStack to warm-start its hidden layers from a
+// pre-trained stack.
+func NewMLP(ctx *Context, cfg MLPConfig, batch int, seed uint64) (*MLP, error) {
+	return mlp.New(ctx, cfg, batch, seed)
+}
+
+// OneHot fills dst (len(labels)×classes) with one-hot target rows.
+func OneHot(labels []int, dst *Matrix) { kernels.OneHot(labels, dst) }
+
+// NewHybridAE builds a host+coprocessor data-parallel Sparse Autoencoder
+// pair (§VI future work). phiCtx must be bound to a device with a PCIe
+// link.
+func NewHybridAE(phiCtx, hostCtx *Context, cfg HybridAEConfig, seed uint64) (*HybridAE, error) {
+	return hybrid.NewAE(phiCtx, hostCtx, cfg, seed)
+}
+
+// NewCluster builds an N-node parameter-averaging cluster of the given
+// platform at the given optimization level.
+func NewCluster(arch *Arch, lvl OptLevel, cfg ClusterConfig, numeric bool, seed uint64) (*Cluster, error) {
+	return cluster.New(arch, lvl, cfg, numeric, seed)
+}
+
+// GigabitEthernet and TenGigabitEthernet are stock interconnect models for
+// ClusterConfig.Net.
+func GigabitEthernet() Interconnect    { return cluster.GigabitEthernet() }
+func TenGigabitEthernet() Interconnect { return cluster.TenGigabitEthernet() }
+
+// NewDigits returns a deterministic stream of n stroke-rendered digit
+// images of side×side pixels with the given additive noise.
+func NewDigits(side, n int, seed uint64, noise float64) *Digits {
+	return data.NewDigits(side, n, seed, noise)
+}
+
+// NewNaturalPatches returns a deterministic stream of n patchSide×patchSide
+// patches from synthetic natural images, rescaled to [0.1, 0.9].
+func NewNaturalPatches(patchSide, n int, seed uint64) *NaturalPatches {
+	return data.NewNaturalPatches(patchSide, n, seed)
+}
+
+// NewShuffled wraps any Source with a deterministic per-epoch permutation.
+func NewShuffled(base Source, seed uint64) *Shuffled {
+	return data.NewShuffled(base, seed)
+}
+
+// PretrainAutoencoders greedily pre-trains one Sparse Autoencoder per
+// adjacent layer pair of cfg.Sizes (the Fig. 1 stacking), streaming src.
+func PretrainAutoencoders(ctx *Context, trainCfg TrainConfig, cfg StackConfig, src Source, seed uint64) (*StackResult, error) {
+	return stack.PretrainAutoencoders(ctx, trainCfg, cfg, src, seed)
+}
+
+// PretrainDBN greedily pre-trains one RBM per adjacent layer pair of
+// cfg.Sizes, yielding a Deep Belief Network.
+func PretrainDBN(ctx *Context, trainCfg TrainConfig, cfg StackConfig, src Source, seed uint64) (*StackResult, error) {
+	return stack.PretrainDBN(ctx, trainCfg, cfg, src, seed)
+}
+
+// CG minimizes obj from theta (updated in place) with nonlinear Conjugate
+// Gradient — one of the batch methods the paper discusses as the
+// parallelism-friendly alternative to online SGD.
+func CG(obj Objective, theta Vector, cfg CGConfig) OptResult {
+	return opt.CG(obj, theta, cfg)
+}
+
+// LBFGS minimizes obj from theta (updated in place) with limited-memory
+// BFGS.
+func LBFGS(obj Objective, theta Vector, cfg LBFGSConfig) OptResult {
+	return opt.LBFGS(obj, theta, cfg)
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// NewVector allocates a zeroed length-n vector.
+func NewVector(n int) Vector { return tensor.NewVector(n) }
+
+// NewRNG returns a deterministic random generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewBoldDriver returns the classic adaptive learning-rate controller
+// (grow 5% on improvement, halve on worsening) starting at lr; assign it to
+// TrainConfig.Adaptive. All parameter types (AutoencoderParams, RBMParams,
+// MLPParams) also expose Save/Load for checkpointing trained models.
+func NewBoldDriver(lr float64) *BoldDriver { return opt.NewBoldDriver(lr) }
+
+// NewAutoencoderParams returns host-side Sparse Autoencoder parameters with
+// the conventional initialization — the starting point for the batch
+// optimizers and for Upload onto a device model.
+func NewAutoencoderParams(cfg AutoencoderConfig, seed uint64) *AutoencoderParams {
+	return autoencoder.NewParams(cfg, seed)
+}
+
+// NewRBMParams returns host-side RBM parameters with the conventional
+// initialization.
+func NewRBMParams(cfg RBMConfig, seed uint64) *RBMParams {
+	return rbm.NewParams(cfg, seed)
+}
+
+// AutoencoderObjective adapts the host reference Sparse Autoencoder on the
+// fixed dataset x (one example per row) to the flat-vector Objective form
+// that CG and LBFGS consume. Evaluating the objective writes theta back
+// into p, so p holds the optimized parameters afterwards.
+func AutoencoderObjective(cfg AutoencoderConfig, p *AutoencoderParams, x *Matrix) (Objective, Vector) {
+	obj, theta := autoencoder.Objective(cfg, p, x)
+	return Objective(obj), theta
+}
+
+// AutoencoderCost evaluates the Eq. 5 objective of the host reference model
+// on x, without computing a gradient.
+func AutoencoderCost(cfg AutoencoderConfig, p *AutoencoderParams, x *Matrix) float64 {
+	return autoencoder.CostGrad(cfg, p, x, nil)
+}
