@@ -292,6 +292,44 @@ func BenchmarkKernelGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelGemm512 measures the real GEMM ladder on a square
+// 512×512×512 multiply — large enough that the packed path's cache
+// blocking and register tiling dominate, and the headline case for the
+// packed micro-kernel speedup tracked in EXPERIMENTS.md.
+func BenchmarkKernelGemm512(b *testing.B) {
+	r := rng.New(2)
+	a := tensor.NewMatrix(512, 512).Randomize(r, -1, 1)
+	bm := tensor.NewMatrix(512, 512).Randomize(r, -1, 1)
+	c := tensor.NewMatrix(512, 512)
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	for _, lvl := range kernels.Levels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kernels.Gemm(pool, lvl, false, false, 1, a, bm, 0, c)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelGemvTrans measures the transposed Gemv (y = Aᵀx), the
+// path parallelized with per-worker partial vectors.
+func BenchmarkKernelGemvTrans(b *testing.B) {
+	r := rng.New(3)
+	a := tensor.NewMatrix(1024, 512).Randomize(r, -1, 1)
+	x := tensor.NewVector(1024).Randomize(r, -1, 1)
+	y := tensor.NewVector(512)
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	for _, lvl := range kernels.Levels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kernels.Gemv(pool, lvl, true, 1, a, x, 0, y)
+			}
+		})
+	}
+}
+
 // BenchmarkSchedulingStaticVsDynamic measures the real parallel-for
 // schedules on a uniform elementwise body (static should win — the paper's
 // granularity discussion).

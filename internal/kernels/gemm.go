@@ -7,18 +7,14 @@ import (
 	"phideep/internal/tensor"
 )
 
-// blockK and blockJ are the cache-tile sizes used by the blocked kernels.
-// 64×256 float64 tiles keep the streamed panel of B and the accumulator row
-// of C inside L1/L2 on common cores; the exact values only affect speed,
-// never results.
-const (
-	blockK = 64
-	blockJ = 256
-)
-
 // Gemm computes C = alpha*op(A)*op(B) + beta*C, where op(X) is X or Xᵀ
 // according to transA/transB, at the given optimization level. pool may be
 // nil for non-parallel levels. Shapes: op(A) is m×k, op(B) is k×n, C is m×n.
+//
+// The Blocked and ParallelBlocked levels run the packed, register-blocked
+// micro-kernel (gemm_packed.go); Naive and Parallel run scalar row loops.
+// All levels compute the same result up to floating-point association
+// order.
 func Gemm(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
 	m, ka := opShape(a, transA)
 	kb, n := opShape(b, transB)
@@ -31,14 +27,22 @@ func Gemm(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a,
 	if m == 0 || n == 0 {
 		return
 	}
-	scaleC(pool, lvl, beta, c)
 	if ka == 0 || alpha == 0 {
+		scaleC(pool, lvl, beta, c)
 		return
 	}
+	if lvl.IsBlocked() {
+		// The packed path handles all four trans layouts natively (the
+		// packing absorbs strides and transposes) and folds the beta
+		// scaling into the first k-panel, so no separate scale pass runs.
+		gemmPacked(pool, lvl, transA, transB, alpha, a, b, beta, c, m, ka, n)
+		return
+	}
+	scaleC(pool, lvl, beta, c)
 
 	// Both transposed: rewrite op(A)ᵀop(B)ᵀ using a packed transpose of A so
-	// the hot kernels below only handle three layouts. TT does not occur in
-	// the training hot paths.
+	// the scalar kernels below only handle three layouts. TT does not occur
+	// in the training hot paths.
 	if transA && transB {
 		Gemm(pool, lvl, false, true, alpha, a.T(), b, 1, c)
 		return
@@ -47,11 +51,11 @@ func Gemm(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a,
 	rowRange := func(lo, hi int) {
 		switch {
 		case !transA && !transB:
-			gemmNN(lvl, alpha, a, b, c, lo, hi)
+			gemmNN(alpha, a, b, c, lo, hi)
 		case !transA && transB:
-			gemmNT(lvl, alpha, a, b, c, lo, hi)
+			gemmNT(alpha, a, b, c, lo, hi)
 		default: // transA && !transB
-			gemmTN(lvl, alpha, a, b, c, lo, hi)
+			gemmTN(alpha, a, b, c, lo, hi)
 		}
 	}
 	if lvl.IsParallel() && pool != nil && pool.Workers() > 1 {
@@ -76,9 +80,7 @@ func scaleC(pool *parallel.Pool, lvl Level, beta float64, c *tensor.Matrix) {
 		for i := lo; i < hi; i++ {
 			row := c.RowView(i)
 			if beta == 0 {
-				for j := range row {
-					row[j] = 0
-				}
+				clear(row)
 			} else {
 				for j := range row {
 					row[j] *= beta
@@ -93,45 +95,20 @@ func scaleC(pool *parallel.Pool, lvl Level, beta float64, c *tensor.Matrix) {
 	}
 }
 
-// gemmNN accumulates C[lo:hi,:] += alpha * A[lo:hi,:] * B.
-func gemmNN(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
+// gemmNN accumulates C[lo:hi,:] += alpha * A[lo:hi,:] * B with the scalar
+// "ikj" loop: streams B rows, accumulates into the C row.
+func gemmNN(alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
 	k, n := a.Cols, c.Cols
-	if !lvl.IsBlocked() {
-		// "ikj" scalar loop: streams B rows, accumulates into the C row.
-		for i := lo; i < hi; i++ {
-			arow, crow := a.RowView(i), c.RowView(i)
-			for l := 0; l < k; l++ {
-				av := alpha * arow[l]
-				if av == 0 {
-					continue
-				}
-				brow := b.RowView(l)
-				for j := 0; j < n; j++ {
-					crow[j] += av * brow[j]
-				}
+	for i := lo; i < hi; i++ {
+		arow, crow := a.RowView(i), c.RowView(i)
+		for l := 0; l < k; l++ {
+			av := alpha * arow[l]
+			if av == 0 {
+				continue
 			}
-		}
-		return
-	}
-	// Tiled over (k, j): each (lb, jb) tile of B is reused across all rows
-	// of the block before being evicted.
-	for lb := 0; lb < k; lb += blockK {
-		lend := min(lb+blockK, k)
-		for jb := 0; jb < n; jb += blockJ {
-			jend := min(jb+blockJ, n)
-			for i := lo; i < hi; i++ {
-				arow := a.RowView(i)
-				crow := c.RowView(i)[jb:jend]
-				for l := lb; l < lend; l++ {
-					av := alpha * arow[l]
-					if av == 0 {
-						continue
-					}
-					brow := b.RowView(l)[jb:jend]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
-				}
+			brow := b.RowView(l)
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
 			}
 		}
 	}
@@ -139,81 +116,44 @@ func gemmNN(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
 
 // gemmNT accumulates C[lo:hi,:] += alpha * A[lo:hi,:] * Bᵀ. Both operand
 // rows are contiguous, so the inner kernel is a dot product.
-func gemmNT(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
+func gemmNT(alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
 	k, n := a.Cols, c.Cols
-	if !lvl.IsBlocked() {
-		for i := lo; i < hi; i++ {
-			arow, crow := a.RowView(i), c.RowView(i)
-			for j := 0; j < n; j++ {
-				brow := b.RowView(j)
-				s := 0.0
-				for l := 0; l < k; l++ {
-					s += arow[l] * brow[l]
-				}
-				crow[j] += alpha * s
+	for i := lo; i < hi; i++ {
+		arow, crow := a.RowView(i), c.RowView(i)
+		for j := 0; j < n; j++ {
+			brow := b.RowView(j)
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += arow[l] * brow[l]
 			}
-		}
-		return
-	}
-	// Tile the dot products over k so long rows of A and B stay cached.
-	for lb := 0; lb < k; lb += blockK {
-		lend := min(lb+blockK, k)
-		for i := lo; i < hi; i++ {
-			arow := a.RowView(i)[lb:lend]
-			crow := c.RowView(i)
-			for j := 0; j < n; j++ {
-				brow := b.RowView(j)[lb:lend]
-				s := 0.0
-				for l, av := range arow {
-					s += av * brow[l]
-				}
-				crow[j] += alpha * s
-			}
+			crow[j] += alpha * s
 		}
 	}
 }
 
 // gemmTN accumulates C[lo:hi,:] += alpha * Aᵀ[lo:hi,:] * B, i.e. row i of C
 // gathers column i of A. Used for weight gradients (Δᵀ·X patterns).
-func gemmTN(lvl Level, alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
+func gemmTN(alpha float64, a, b, c *tensor.Matrix, lo, hi int) {
 	k, n := a.Rows, c.Cols // op(A) is (a.Cols)×(a.Rows)
-	if !lvl.IsBlocked() {
-		for l := 0; l < k; l++ {
-			arow, brow := a.RowView(l), b.RowView(l)
-			for i := lo; i < hi; i++ {
-				av := alpha * arow[i]
-				if av == 0 {
-					continue
-				}
-				crow := c.RowView(i)
-				for j := 0; j < n; j++ {
-					crow[j] += av * brow[j]
-				}
+	for l := 0; l < k; l++ {
+		arow, brow := a.RowView(l), b.RowView(l)
+		for i := lo; i < hi; i++ {
+			av := alpha * arow[i]
+			if av == 0 {
+				continue
 			}
-		}
-		return
-	}
-	for lb := 0; lb < k; lb += blockK {
-		lend := min(lb+blockK, k)
-		for jb := 0; jb < n; jb += blockJ {
-			jend := min(jb+blockJ, n)
-			for l := lb; l < lend; l++ {
-				arow := a.RowView(l)
-				brow := b.RowView(l)[jb:jend]
-				for i := lo; i < hi; i++ {
-					av := alpha * arow[i]
-					if av == 0 {
-						continue
-					}
-					crow := c.RowView(i)[jb:jend]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
-				}
+			crow := c.RowView(i)
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
 			}
 		}
 	}
 }
+
+// gemvTransMinWork is the op(A) element count below which the transposed
+// Gemv stays sequential: with less work than this the per-worker partial
+// vectors cost more than they save.
+const gemvTransMinWork = 4096
 
 // Gemv computes y = alpha*op(A)*x + beta*y. Shapes: op(A) is m×n, x length
 // n, y length m.
@@ -222,8 +162,14 @@ func Gemv(pool *parallel.Pool, lvl Level, transA bool, alpha float64, a *tensor.
 	if len(x) != n || len(y) != m {
 		panic(fmt.Sprintf("kernels: Gemv shape mismatch: op(A)=%dx%d, x=%d, y=%d", m, n, len(x), len(y)))
 	}
-	for i := range y {
-		y[i] *= beta
+	switch beta {
+	case 1:
+	case 0:
+		clear(y)
+	default:
+		for i := range y {
+			y[i] *= beta
+		}
 	}
 	if alpha == 0 || n == 0 {
 		return
@@ -246,10 +192,21 @@ func Gemv(pool *parallel.Pool, lvl Level, transA bool, alpha float64, a *tensor.
 		}
 		return
 	}
-	// Transposed: y += alpha * Aᵀx, accumulated row by row of A. Kept
-	// sequential — the vector is shared across rows, and the paper's models
-	// only hit this shape with small vectors.
-	for l := 0; l < a.Rows; l++ {
+	// Transposed: y += alpha * Aᵀx, accumulated row by row of A. The output
+	// vector is shared across rows, so the parallel path gives each block of
+	// A rows its own partial vector and combines the partials in block order
+	// — same scheme as parallel.Pool.ReduceSum, lifted to vectors, so the
+	// result is deterministic for a fixed worker count.
+	if lvl.IsParallel() && pool != nil && pool.Workers() > 1 && a.Rows*m >= gemvTransMinWork {
+		gemvTransParallel(pool, alpha, a, x, y)
+		return
+	}
+	gemvTransBlock(alpha, a, x, y, 0, a.Rows)
+}
+
+// gemvTransBlock accumulates y += alpha * A[lo:hi,:]ᵀ · x[lo:hi].
+func gemvTransBlock(alpha float64, a *tensor.Matrix, x, y tensor.Vector, lo, hi int) {
+	for l := lo; l < hi; l++ {
 		row := a.RowView(l)
 		xv := alpha * x[l]
 		if xv == 0 {
@@ -261,9 +218,36 @@ func Gemv(pool *parallel.Pool, lvl Level, transA bool, alpha float64, a *tensor.
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// gemvTransParallel distributes blocks of A rows across the pool, each
+// accumulating into a worker-private slice of a pooled scratch buffer, then
+// reduces the partials into y in ascending block order.
+func gemvTransParallel(pool *parallel.Pool, alpha float64, a *tensor.Matrix, x, y tensor.Vector) {
+	blocks := pool.Workers()
+	if blocks > a.Rows {
+		blocks = a.Rows
 	}
-	return b
+	per := (a.Rows + blocks - 1) / blocks
+	blocks = (a.Rows + per - 1) / per
+	ar := arenaPool.Get().(*arena)
+	m := len(y)
+	partials := ar.ensure(blocks * m)
+	pool.For(blocks, parallel.Static, 0, func(blo, bhi int) {
+		for blk := blo; blk < bhi; blk++ {
+			lo := blk * per
+			hi := lo + per
+			if hi > a.Rows {
+				hi = a.Rows
+			}
+			part := partials[blk*m : (blk+1)*m]
+			clear(part)
+			gemvTransBlock(alpha, a, x, part, lo, hi)
+		}
+	})
+	for blk := 0; blk < blocks; blk++ {
+		part := partials[blk*m : (blk+1)*m]
+		for i, v := range part {
+			y[i] += v
+		}
+	}
+	arenaPool.Put(ar)
 }

@@ -1,0 +1,24 @@
+//go:build amd64
+
+package kernels
+
+// useAsmKernel gates the assembly micro-kernel on runtime CPU support.
+// Checked once at package init; both paths compute the same tile, the
+// assembly one with fused multiply-adds (single rounding per a·b+c).
+var useAsmKernel = cpuSupportsAVX2FMA()
+
+// cpuSupportsAVX2FMA reports whether the CPU and OS support the AVX2+FMA
+// instructions used by dgemmKernel4x8 (CPUID feature bits plus XGETBV
+// confirmation that the OS preserves YMM state).
+func cpuSupportsAVX2FMA() bool
+
+// dgemmKernel4x8 computes the 4×8 register tile
+//
+//	out[ii*8+jj] = Σ_{l<kc} ap[l*4+ii] · bp[l*8+jj]
+//
+// with AVX2 fused multiply-adds. ap is a packed A sliver (k-major, 4-wide),
+// bp a packed B micro-panel (k-major, 8-wide), out a 32-element buffer.
+// kc must be >= 1.
+//
+//go:noescape
+func dgemmKernel4x8(kc int, ap, bp, out *float64)

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package kernels
+
+// Non-amd64 builds always take the pure-Go micro-kernel.
+const useAsmKernel = false
+
+func dgemmKernel4x8(kc int, ap, bp, out *float64) {
+	panic("kernels: assembly micro-kernel not available on this architecture")
+}

@@ -9,12 +9,20 @@
 // drives the paper's timing figures is charged separately by
 // internal/device; this package provides the real concurrent execution used
 // when kernels run numerically.
+//
+// The fork/join itself is allocation-free in steady state: the loop
+// descriptor lives in preallocated per-pool slots, workers are woken through
+// per-worker buffered channels, and one reusable sync.WaitGroup forms the
+// join barrier. No closures are created and no per-block channel sends
+// happen inside For/ReduceSum/Run — the real-execution analogue of the
+// paper's granularity observation.
 package parallel
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Schedule selects how loop iterations are assigned to workers, mirroring
@@ -41,16 +49,53 @@ func (s Schedule) String() string {
 	}
 }
 
+// Ranger is an iteration body passed by reference. ForRanger callers that
+// reuse a Ranger value (e.g. from a sync.Pool) submit loops with zero
+// allocations, where a closure passed to For would be allocated at the call
+// site on every invocation.
+type Ranger interface {
+	// Range processes iterations [lo, hi).
+	Range(lo, hi int)
+}
+
+// loopMode tags the kind of parallel region stored in the pool's descriptor
+// slots.
+type loopMode int
+
+const (
+	modeNone loopMode = iota
+	modeStatic
+	modeDynamic
+	modeReduce
+	modeThunks
+)
+
 // Pool is a fixed set of workers executing parallel loops. The zero value
 // is not usable; call NewPool. A Pool is safe for use from one goroutine at
 // a time (nested For calls from loop bodies are not supported, matching the
 // paper's single level of OpenMP parallelism).
 type Pool struct {
 	workers int
-	tasks   chan func()
+	wake    []chan struct{} // per-worker wake-up, buffered 1
 	done    chan struct{}
-	closed  bool
-	mu      sync.Mutex
+	wg      sync.WaitGroup // reusable join barrier
+	closed  atomic.Bool
+	mu      sync.Mutex // serializes Close
+
+	// Descriptor of the in-flight parallel region. Written by the
+	// submitting goroutine before the wake sends, read by workers after
+	// receiving them (the channel send establishes the happens-before
+	// edge), cleared after the join so captured state can be collected.
+	mode     loopMode
+	fn       func(lo, hi int)
+	ranger   Ranger
+	red      func(lo, hi int) float64
+	thunks   []func()
+	n        int
+	per      int // static block size: ceil(n/workers)
+	chunk    int
+	cursor   atomic.Int64 // dynamic-schedule / thunk work cursor
+	partials []float64    // per-block reduction slots
 }
 
 // NewPool creates a pool with the given number of workers. workers <= 0
@@ -60,37 +105,113 @@ func NewPool(workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{
-		workers: workers,
-		tasks:   make(chan func(), workers),
-		done:    make(chan struct{}),
+		workers:  workers,
+		wake:     make([]chan struct{}, workers),
+		done:     make(chan struct{}),
+		partials: make([]float64, workers),
 	}
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(i)
 	}
 	return p
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
 	for {
 		select {
-		case f := <-p.tasks:
-			f()
+		case <-p.wake[id]:
+			p.run(id)
+			p.wg.Done()
 		case <-p.done:
 			return
 		}
 	}
 }
 
+// run executes worker id's share of the current region.
+func (p *Pool) run(id int) {
+	switch p.mode {
+	case modeStatic:
+		lo := id * p.per
+		if lo < p.n {
+			hi := lo + p.per
+			if hi > p.n {
+				hi = p.n
+			}
+			p.call(lo, hi)
+		}
+	case modeDynamic:
+		for {
+			hi := int(p.cursor.Add(int64(p.chunk)))
+			lo := hi - p.chunk
+			if lo >= p.n {
+				return
+			}
+			if hi > p.n {
+				hi = p.n
+			}
+			p.call(lo, hi)
+		}
+	case modeReduce:
+		lo := id * p.per
+		if lo < p.n {
+			hi := lo + p.per
+			if hi > p.n {
+				hi = p.n
+			}
+			p.partials[id] = p.red(lo, hi)
+		}
+	case modeThunks:
+		for {
+			i := int(p.cursor.Add(1)) - 1
+			if i >= len(p.thunks) {
+				return
+			}
+			p.thunks[i]()
+		}
+	}
+}
+
+func (p *Pool) call(lo, hi int) {
+	if p.fn != nil {
+		p.fn(lo, hi)
+	} else {
+		p.ranger.Range(lo, hi)
+	}
+}
+
+// fork wakes every worker, waits for all of them to finish the region
+// described in the pool's slots, then clears the descriptor. One channel
+// send per worker, no allocations.
+func (p *Pool) fork() {
+	p.wg.Add(p.workers)
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	p.wg.Wait()
+	p.mode = modeNone
+	p.fn = nil
+	p.ranger = nil
+	p.red = nil
+	p.thunks = nil
+}
+
+func (p *Pool) checkOpen(op string) {
+	if p.closed.Load() {
+		panic("parallel: Pool." + op + " called after Close")
+	}
+}
+
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close stops the workers. For must not be called after Close. Close is
-// idempotent.
+// Close stops the workers. For must not be called after Close (it panics
+// rather than hanging on the stopped workers). Close is idempotent.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if !p.closed {
-		p.closed = true
+	if p.closed.CompareAndSwap(false, true) {
 		close(p.done)
 	}
 }
@@ -100,6 +221,7 @@ func (p *Pool) Close() {
 // chunk is the dynamic chunk size; it is ignored for Static and defaults to
 // ceil(n/(8*workers)) when <= 0.
 func (p *Pool) For(n int, s Schedule, chunk int, body func(lo, hi int)) {
+	p.checkOpen("For")
 	if n <= 0 {
 		return
 	}
@@ -107,74 +229,47 @@ func (p *Pool) For(n int, s Schedule, chunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	p.fn = body
+	p.submit(n, s, chunk)
+}
+
+// ForRanger is For with an interface body instead of a func. Passing a
+// pointer-typed Ranger avoids the closure allocation of For, which keeps
+// hot kernels (the packed GEMM) allocation-free.
+func (p *Pool) ForRanger(n int, s Schedule, chunk int, body Ranger) {
+	p.checkOpen("ForRanger")
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		body.Range(0, n)
+		return
+	}
+	p.ranger = body
+	p.submit(n, s, chunk)
+}
+
+func (p *Pool) submit(n int, s Schedule, chunk int) {
+	p.n = n
 	switch s {
 	case Static:
-		p.forStatic(n, body)
+		p.mode = modeStatic
+		p.per = (n + p.workers - 1) / p.workers
 	case Dynamic:
-		p.forDynamic(n, chunk, body)
-	default:
-		panic(fmt.Sprintf("parallel: unknown schedule %d", int(s)))
-	}
-}
-
-func (p *Pool) forStatic(n int, body func(lo, hi int)) {
-	var wg sync.WaitGroup
-	per := (n + p.workers - 1) / p.workers
-	for lo := 0; lo < n; lo += per {
-		hi := lo + per
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		lo, hi := lo, hi
-		p.tasks <- func() {
-			defer wg.Done()
-			body(lo, hi)
-		}
-	}
-	wg.Wait()
-}
-
-func (p *Pool) forDynamic(n, chunk int, body func(lo, hi int)) {
-	if chunk <= 0 {
-		chunk = (n + 8*p.workers - 1) / (8 * p.workers)
-		if chunk < 1 {
-			chunk = 1
-		}
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-	)
-	take := func() (int, int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= n {
-			return 0, 0, false
-		}
-		lo := next
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		next = hi
-		return lo, hi, true
-	}
-	for i := 0; i < p.workers; i++ {
-		wg.Add(1)
-		p.tasks <- func() {
-			defer wg.Done()
-			for {
-				lo, hi, ok := take()
-				if !ok {
-					return
-				}
-				body(lo, hi)
+		if chunk <= 0 {
+			chunk = (n + 8*p.workers - 1) / (8 * p.workers)
+			if chunk < 1 {
+				chunk = 1
 			}
 		}
+		p.mode = modeDynamic
+		p.chunk = chunk
+		p.cursor.Store(0)
+	default:
+		p.fn, p.ranger = nil, nil
+		panic(fmt.Sprintf("parallel: unknown schedule %d", int(s)))
 	}
-	wg.Wait()
+	p.fork()
 }
 
 // ReduceSum evaluates body over a static partition of [0, n), where body
@@ -182,32 +277,21 @@ func (p *Pool) forDynamic(n, chunk int, body func(lo, hi int)) {
 // combined in block order so the result is deterministic for a fixed n and
 // worker count.
 func (p *Pool) ReduceSum(n int, body func(lo, hi int) float64) float64 {
+	p.checkOpen("ReduceSum")
 	if n <= 0 {
 		return 0
 	}
 	if p.workers == 1 {
 		return body(0, n)
 	}
-	per := (n + p.workers - 1) / p.workers
-	blocks := (n + per - 1) / per
-	partials := make([]float64, blocks)
-	var wg sync.WaitGroup
-	for b := 0; b < blocks; b++ {
-		lo := b * per
-		hi := lo + per
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		b, lo, hi := b, lo, hi
-		p.tasks <- func() {
-			defer wg.Done()
-			partials[b] = body(lo, hi)
-		}
-	}
-	wg.Wait()
+	p.mode = modeReduce
+	p.red = body
+	p.n = n
+	p.per = (n + p.workers - 1) / p.workers
+	blocks := (n + p.per - 1) / p.per
+	p.fork()
 	total := 0.0
-	for _, v := range partials {
+	for _, v := range p.partials[:blocks] {
 		total += v
 	}
 	return total
@@ -217,6 +301,7 @@ func (p *Pool) ReduceSum(n int, body func(lo, hi int) float64) float64 {
 // It is the building block for the Fig. 6 dependency-graph schedule, where
 // independent matrix operations of the RBM gradient run at the same time.
 func (p *Pool) Run(thunks ...func()) {
+	p.checkOpen("Run")
 	if len(thunks) == 0 {
 		return
 	}
@@ -226,14 +311,8 @@ func (p *Pool) Run(thunks ...func()) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, f := range thunks {
-		wg.Add(1)
-		f := f
-		p.tasks <- func() {
-			defer wg.Done()
-			f()
-		}
-	}
-	wg.Wait()
+	p.mode = modeThunks
+	p.thunks = thunks
+	p.cursor.Store(0)
+	p.fork()
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -156,5 +157,96 @@ func TestDynamicWithLargeChunk(t *testing.T) {
 	pool.For(10, Dynamic, 100, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
 	if total != 10 {
 		t.Fatal("chunk larger than n mishandled")
+	}
+}
+
+// rangeCounter is a Ranger that tallies covered indices.
+type rangeCounter struct {
+	mu   sync.Mutex
+	seen map[int]int
+}
+
+func (rc *rangeCounter) Range(lo, hi int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i := lo; i < hi; i++ {
+		rc.seen[i]++
+	}
+}
+
+func TestForRangerCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		pool := NewPool(workers)
+		for _, s := range []Schedule{Static, Dynamic} {
+			for _, n := range []int{0, 1, 7, 64, 101} {
+				rc := &rangeCounter{seen: make(map[int]int)}
+				pool.ForRanger(n, s, 3, rc)
+				if len(rc.seen) != n {
+					t.Fatalf("workers=%d %v n=%d: covered %d indices", workers, s, n, len(rc.seen))
+				}
+				for i, c := range rc.seen {
+					if c != 1 || i < 0 || i >= n {
+						t.Fatalf("workers=%d %v n=%d: index %d visited %d times", workers, s, n, i, c)
+					}
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolUseAfterClosePanics checks the guarded-Close contract: every
+// submission API must fail fast with a clear panic instead of hanging on
+// the stopped workers.
+func TestPoolUseAfterClosePanics(t *testing.T) {
+	calls := []struct {
+		name string
+		call func(p *Pool)
+	}{
+		{"For", func(p *Pool) { p.For(4, Static, 0, func(lo, hi int) {}) }},
+		{"ForRanger", func(p *Pool) { p.ForRanger(4, Static, 0, &rangeCounter{seen: map[int]int{}}) }},
+		{"ReduceSum", func(p *Pool) { p.ReduceSum(4, func(lo, hi int) float64 { return 0 }) }},
+		{"Run", func(p *Pool) { p.Run(func() {}, func() {}) }},
+	}
+	for _, tc := range calls {
+		pool := NewPool(2)
+		pool.Close()
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s after Close did not panic", tc.name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "after Close") || !strings.Contains(msg, tc.name) {
+					t.Fatalf("%s after Close: unexpected panic %v", tc.name, r)
+				}
+			}()
+			tc.call(pool)
+		}()
+	}
+}
+
+// TestForkJoinDoesNotAllocate checks the allocation-free fork/join claim:
+// steady-state ForRanger and ReduceSum submissions allocate nothing (the
+// loop descriptor lives in the pool, workers are woken via preallocated
+// channels, and the join barrier is reused).
+func TestForkJoinDoesNotAllocate(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	rc := &rangeCounter{seen: make(map[int]int)}
+	red := func(lo, hi int) float64 { return float64(hi - lo) }
+	// Warm up once so lazily-grown state settles.
+	pool.ForRanger(64, Static, 0, rc)
+	pool.ReduceSum(64, red)
+	if avg := testing.AllocsPerRun(50, func() {
+		pool.ForRanger(64, Static, 0, rc)
+	}); avg > 0.5 {
+		t.Fatalf("ForRanger allocates %.1f objects per call", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		pool.ReduceSum(64, red)
+	}); avg > 0.5 {
+		t.Fatalf("ReduceSum allocates %.1f objects per call", avg)
 	}
 }

@@ -130,10 +130,7 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 // Zero sets every element to 0.
 func (m *Matrix) Zero() {
 	for i := 0; i < m.Rows; i++ {
-		row := m.RowView(i)
-		for j := range row {
-			row[j] = 0
-		}
+		clear(m.RowView(i))
 	}
 }
 

@@ -29,9 +29,7 @@ func (v Vector) Clone() Vector {
 
 // Zero sets every element to 0.
 func (v Vector) Zero() {
-	for i := range v {
-		v[i] = 0
-	}
+	clear(v)
 }
 
 // Fill sets every element to x.
