@@ -288,7 +288,20 @@ func BenchmarkKernelGemm(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				kernels.Gemm(pool, lvl, false, false, 1, a, bm, 0, c)
 			}
+			reportGflops(b, 128, 256, 128)
 		})
+	}
+}
+
+// reportGflops attaches achieved GEMM throughput (2·m·k·n flops per call)
+// to a benchmark, so `go test -bench Kernel` output feeds the wall-clock
+// tables in EXPERIMENTS.md directly.
+func reportGflops(b *testing.B, m, k, n int) {
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		flops := 2 * float64(m) * float64(k) * float64(n) * float64(b.N)
+		b.ReportMetric(flops/sec/1e9, "GFLOP/s")
 	}
 }
 
@@ -308,6 +321,7 @@ func BenchmarkKernelGemm512(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				kernels.Gemm(pool, lvl, false, false, 1, a, bm, 0, c)
 			}
+			reportGflops(b, 512, 512, 512)
 		})
 	}
 }
@@ -369,5 +383,9 @@ func BenchmarkNumericTrainingStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step(dx, 0.1)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(32*float64(b.N)/sec, "examples/s")
 	}
 }

@@ -1,10 +1,27 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, then race-check the packages that
-# share mutable state across goroutines (packed GEMM panels, pool
-# fork/join, device queues). Run from the repo root.
+# CI gate: formatting, vet, build, doc coverage, full test suite, then
+# race-check the packages that share mutable state across goroutines
+# (packed GEMM panels, pool fork/join, device queues, metrics registry).
+# Run from the repo root.
 set -eux
+
+# gofmt must be a no-op everywhere.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+# Every package must carry a package comment (godoc coverage guard).
+undocumented=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... ./cmd/...)
+if [ -n "$undocumented" ]; then
+    echo "missing package comment in:" >&2
+    echo "$undocumented" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/...
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/...

@@ -9,17 +9,29 @@
 //	phibench -exp fig7-ae,fig9-rbm
 //	phibench -list               # show experiment ids
 //	phibench -exp fig10 -csv     # machine-readable output
+//	phibench -exp table1 -metrics run.json   # + wall-clock counter snapshot
+//	phibench -exp all -pprof localhost:6060  # live profiling while it runs
+//
+// The experiment tables report *simulated* seconds on the modeled
+// platforms; -metrics captures, in addition, the real host-side cost of
+// producing them (GEMM calls/FLOPs, asm-vs-fallback path counts, wall
+// seconds per engine) as a JSON registry snapshot. -stats prints the same
+// snapshot as a table. See DESIGN.md's "Observability" section.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"phideep/internal/experiments"
+	"phideep/internal/metrics"
 )
 
 // registry maps experiment ids to their runners, in the order DESIGN.md's
@@ -56,7 +68,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outDir := flag.String("out", "", "also write each experiment as <id>.csv into this directory")
+	metricsTo := flag.String("metrics", "", "write a JSON metrics snapshot (wall-clock counters across all experiments run) to this file")
+	stats := flag.Bool("stats", false, "print the metrics registry as a table at the end")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "phibench: pprof:", err)
+			}
+		}()
+	}
+	if *metricsTo != "" || *stats {
+		metrics.SetEnabled(true)
+	}
 
 	if *list {
 		for _, e := range registry {
@@ -112,6 +138,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "phibench: nothing to run (use -list)")
 		os.Exit(2)
 	}
+	if *metricsTo != "" {
+		if err := writeSnapshot(*metricsTo); err != nil {
+			fmt.Fprintln(os.Stderr, "phibench:", err)
+			os.Exit(1)
+		}
+	}
+	if *stats {
+		fmt.Println("== metrics (wall clock vs simulated; see DESIGN.md \"Observability\") ==")
+		if err := metrics.Default().Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "phibench:", err)
+		}
+	}
+}
+
+// writeSnapshot dumps the metrics registry as indented JSON to path.
+func writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing metrics snapshot: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(metrics.Default().Snapshot()); err != nil {
+		return fmt.Errorf("writing metrics snapshot: %w", err)
+	}
+	return nil
 }
 
 // writeCSVFile writes one experiment's table as <dir>/<id>.csv.

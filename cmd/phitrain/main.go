@@ -9,20 +9,33 @@
 //	phitrain -model stack -sizes 256,64,16 -data natural -side 16
 //	phitrain -model ae -numeric=false -visible 1024 -hidden 4096 \
 //	         -examples 1000000 -batch 1000 -epochs 1     # timing only
+//	phitrain -model ae -epochs 5 -metrics report.json -stats
+//	phitrain -model ae -epochs 50 -pprof localhost:6060  # live profiling
 //
 // With -numeric (the default) the run really computes on the host while the
 // simulated Xeon Phi clock is accounted; with -numeric=false only the clock
 // runs, which permits paper-scale geometries on any machine.
+//
+// Observability: -metrics writes a JSON run report (per-epoch wall time,
+// examples/sec, GEMM counts and FLOPs, asm-vs-fallback micro-kernel path
+// counts, simulated-vs-real engine seconds); -stats prints the same
+// registry as an aligned end-of-run table; -pprof serves net/http/pprof
+// for live CPU/heap profiling; -trace writes the *simulated* device
+// timeline for chrome://tracing. DESIGN.md's "Observability" section
+// explains how the wall-clock metrics and the simulated traces relate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"phideep"
+	"phideep/internal/metrics"
 )
 
 func main() {
@@ -54,10 +67,21 @@ func main() {
 		gaussian  = flag.Bool("gaussian", false, "Gaussian visible units (rbm/dbn) for real-valued data")
 		shuffle   = flag.Bool("shuffle", false, "reshuffle the dataset every epoch")
 		adaptive  = flag.Bool("adaptive", false, "bold-driver adaptive learning rate (numeric runs)")
+		metricsTo = flag.String("metrics", "", "write a JSON run report (wall-clock timings, throughput, kernel counters) to this file")
+		stats     = flag.Bool("stats", false, "print the metrics registry as a table at the end of the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "phitrain: pprof:", err)
+			}
+		}()
+	}
 	opts := options{momentum: *momentum, corruption: *corrupt, tied: *tied,
-		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive}
+		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive,
+		metricsPath: *metricsTo, stats: *stats}
 	if err := run(*modelKind, *dataKind, *side, *visible, *hidden, *sizes, *examples, *batch,
 		*epochs, *iters, *lr, *lambda, *beta, *rho, *level, *arch, *cores, *numeric, *prefetch, *seed, *trace, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "phitrain:", err)
@@ -127,13 +151,15 @@ func (s nullSource) Dim() int                                { return s.d }
 func (s nullSource) Len() int                                { return s.n }
 func (s nullSource) Chunk(start, n int, dst *phideep.Matrix) {}
 
-// options bundles the model-variant switches.
+// options bundles the model-variant and observability switches.
 type options struct {
 	momentum, corruption float64
 	tied                 bool
 	gaussian             bool
 	shuffle              bool
 	adaptive             bool
+	metricsPath          string // -metrics: JSON run-report destination
+	stats                bool   // -stats: print the registry table at exit
 }
 
 func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string,
@@ -142,6 +168,9 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 
 	if visible == 0 {
 		visible = side * side
+	}
+	if opts.metricsPath != "" || opts.stats {
+		metrics.SetEnabled(true)
 	}
 	archDesc, err := pickArch(archName)
 	if err != nil {
@@ -218,6 +247,16 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		}
 		fmt.Printf("%s %dx%d on %s [%s]\n", modelKind, visible, hidden, archDesc.Name, lvl)
 		printResult(res, numeric)
+		if opts.metricsPath != "" {
+			rep := &runReport{Model: modelKind, Data: dataKind, Arch: archName, Level: levelName, Numeric: numeric}
+			rep.fillResult(res)
+			if err := writeReport(opts.metricsPath, rep); err != nil {
+				return err
+			}
+		}
+		if opts.stats {
+			printSummary()
+		}
 		return nil
 
 	case "stack", "dbn":
@@ -242,10 +281,20 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		}
 		fmt.Printf("%s %v on %s [%s]\n", modelKind, layerSizes, archDesc.Name, lvl)
 		for i, l := range res.Layers {
-			fmt.Printf("  layer %d (%d -> %d): steps=%d firstLoss=%.5f finalLoss=%.5f\n",
-				i, l.Visible, l.Hidden, l.Train.Steps, l.Train.FirstLoss, l.Train.FinalLoss)
+			fmt.Printf("  layer %d (%d -> %d): steps=%d firstLoss=%.5f finalLoss=%.5f wall=%.3fs\n",
+				i, l.Visible, l.Hidden, l.Train.Steps, l.Train.FirstLoss, l.Train.FinalLoss, l.Train.WallSeconds)
 		}
 		fmt.Printf("  total simulated time: %.3f s\n", res.SimSeconds)
+		if opts.metricsPath != "" {
+			rep := &runReport{Model: modelKind, Data: dataKind, Arch: archName, Level: levelName, Numeric: numeric}
+			rep.fillStack(res)
+			if err := writeReport(opts.metricsPath, rep); err != nil {
+				return err
+			}
+		}
+		if opts.stats {
+			printSummary()
+		}
 		return nil
 
 	default:
@@ -277,6 +326,7 @@ func printResult(res *phideep.TrainResult, numeric bool) {
 			fmt.Printf("  epoch %d: %.5f\n", i+1, l)
 		}
 	}
+	fmt.Printf("  wall time: %.3f s (%.0f examples/s)\n", res.WallSeconds, res.ExamplesPerSec)
 	fmt.Printf("  simulated time: %.3f s (compute %.3f s, transfers %.3f s busy, %d kernel launches)\n",
 		res.SimSeconds, res.Device.ComputeBusy, res.Device.TransferBusy, res.Device.Ops)
 	fmt.Printf("  modeled flops: %.3g, PCIe bytes: %d, peak device memory: %d MB\n",

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"phideep"
+	"phideep/internal/metrics"
+)
+
+// jsonFloat marshals NaN and ±Inf as null so run reports from model-only
+// devices (whose loss fields are NaN by contract) stay valid JSON.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func toJSONFloats(vs []float64) []jsonFloat {
+	if vs == nil {
+		return nil
+	}
+	out := make([]jsonFloat, len(vs))
+	for i, v := range vs {
+		out[i] = jsonFloat(v)
+	}
+	return out
+}
+
+// runReport is the -metrics JSON document: the training outcome (simulated
+// and wall clocks side by side) plus the full metrics registry snapshot,
+// which carries the GEMM call/flop totals and the asm-vs-fallback path
+// counts. Single-model runs fill the top-level result fields; stacked runs
+// fill Layers.
+type runReport struct {
+	Model   string `json:"model"`
+	Data    string `json:"data"`
+	Arch    string `json:"arch"`
+	Level   string `json:"level"`
+	Numeric bool   `json:"numeric"`
+
+	Steps            int           `json:"steps"`
+	Examples         int           `json:"examples"`
+	Chunks           int           `json:"chunks,omitempty"`
+	SimSeconds       float64       `json:"sim_seconds"`
+	WallSeconds      float64       `json:"wall_seconds"`
+	ExamplesPerSec   float64       `json:"examples_per_sec"`
+	EpochWallSeconds []float64     `json:"epoch_wall_seconds,omitempty"`
+	EpochLoss        []jsonFloat   `json:"epoch_loss,omitempty"`
+	FirstLoss        jsonFloat     `json:"first_loss"`
+	FinalLoss        jsonFloat     `json:"final_loss"`
+	Layers           []layerReport `json:"layers,omitempty"`
+
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// layerReport summarizes one layer of a stacked pre-training run.
+type layerReport struct {
+	Visible          int         `json:"visible"`
+	Hidden           int         `json:"hidden"`
+	Steps            int         `json:"steps"`
+	WallSeconds      float64     `json:"wall_seconds"`
+	ExamplesPerSec   float64     `json:"examples_per_sec"`
+	EpochWallSeconds []float64   `json:"epoch_wall_seconds,omitempty"`
+	FirstLoss        jsonFloat   `json:"first_loss"`
+	FinalLoss        jsonFloat   `json:"final_loss"`
+	EpochLoss        []jsonFloat `json:"epoch_loss,omitempty"`
+}
+
+// fillResult copies a single-model training result into the report.
+func (r *runReport) fillResult(res *phideep.TrainResult) {
+	r.Steps = res.Steps
+	r.Examples = res.Examples
+	r.Chunks = res.Chunks
+	r.SimSeconds = res.SimSeconds
+	r.WallSeconds = res.WallSeconds
+	r.ExamplesPerSec = res.ExamplesPerSec
+	r.EpochWallSeconds = res.EpochWallSeconds
+	r.EpochLoss = toJSONFloats(res.EpochLoss)
+	r.FirstLoss = jsonFloat(res.FirstLoss)
+	r.FinalLoss = jsonFloat(res.FinalLoss)
+}
+
+// fillStack copies a stacked pre-training result into the report,
+// aggregating the per-layer wall clocks into run totals.
+func (r *runReport) fillStack(res *phideep.StackResult) {
+	r.SimSeconds = res.SimSeconds
+	for _, l := range res.Layers {
+		lr := layerReport{
+			Visible: l.Visible, Hidden: l.Hidden,
+			FirstLoss: jsonFloat(l.Train.FirstLoss),
+			FinalLoss: jsonFloat(l.Train.FinalLoss),
+			EpochLoss: toJSONFloats(l.Train.EpochLoss),
+		}
+		lr.Steps = l.Train.Steps
+		lr.WallSeconds = l.Train.WallSeconds
+		lr.ExamplesPerSec = l.Train.ExamplesPerSec
+		lr.EpochWallSeconds = l.Train.EpochWallSeconds
+		r.Layers = append(r.Layers, lr)
+		r.Steps += l.Train.Steps
+		r.Examples += l.Train.Examples
+		r.Chunks += l.Train.Chunks
+		r.WallSeconds += l.Train.WallSeconds
+	}
+	if r.WallSeconds > 0 {
+		r.ExamplesPerSec = float64(r.Examples) / r.WallSeconds
+	}
+}
+
+// writeReport snapshots the metrics registry into the report and writes it
+// as indented JSON to path.
+func writeReport(path string, r *runReport) error {
+	r.Metrics = metrics.Default().Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing run report: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("writing run report: %w", err)
+	}
+	return nil
+}
+
+// printSummary prints the end-of-run metrics table (the human-readable
+// counterpart of the JSON report) to stdout.
+func printSummary() {
+	fmt.Println("\n== metrics (wall clock vs simulated; see DESIGN.md \"Observability\") ==")
+	if err := metrics.Default().Snapshot().WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "phitrain: summary:", err)
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import "phideep/internal/metrics"
+
+// Wall-clock observability handles (DESIGN.md §"Observability"). The
+// Trainer always fills the wall-clock fields of Result (two time.Now reads
+// per epoch cost nothing against a training epoch); the registry metrics
+// below additionally aggregate across runs in one process and are recorded
+// only while metrics.Enabled() holds.
+var (
+	mRuns     = metrics.Default().Counter("trainer.runs")
+	mSteps    = metrics.Default().Counter("trainer.steps")
+	mExamples = metrics.Default().Counter("trainer.examples")
+	mChunks   = metrics.Default().Counter("trainer.chunks")
+
+	// mEpochSeconds is real host seconds per completed epoch (exponential
+	// buckets, 1 ms – ~4.5 h); mExamplesPerSec is the last finished run's
+	// end-to-end throughput.
+	mEpochSeconds   = metrics.Default().Histogram("trainer.epoch.seconds", metrics.ExpBuckets(1e-3, 4, 12)...)
+	mExamplesPerSec = metrics.Default().Gauge("trainer.examples_per_sec")
+)

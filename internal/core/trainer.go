@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"phideep/internal/data"
 	"phideep/internal/device"
+	"phideep/internal/metrics"
 	"phideep/internal/opt"
 	"phideep/internal/tensor"
 )
@@ -72,6 +74,15 @@ type Result struct {
 	// EpochLoss is the average progress metric per epoch (empty when
 	// Iterations mode is used; NaN entries on model-only devices).
 	EpochLoss []float64
+	// WallSeconds is the real (host) execution time of the run — the
+	// measured counterpart of the simulated SimSeconds.
+	WallSeconds float64
+	// ExamplesPerSec is Examples / WallSeconds: the run's real end-to-end
+	// training throughput.
+	ExamplesPerSec float64
+	// EpochWallSeconds is the real host time per completed epoch, parallel
+	// to EpochLoss (empty in Iterations mode).
+	EpochWallSeconds []float64
 	// Device is the device activity snapshot at the end of the run.
 	Device device.Stats
 }
@@ -167,6 +178,8 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 	res := &Result{FirstLoss: math.NaN(), FinalLoss: math.NaN()}
 	step := 0
 	epochLossSum, epochLossN := 0.0, 0
+	runStart := time.Now()
+	epochStart := runStart
 
 	for chunk := 0; chunk < totalChunks && step < totalSteps; chunk++ {
 		slot := chunk % cfg.BufferDepth
@@ -215,6 +228,13 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 				if step%stepsPerEpoch == 0 {
 					res.EpochLoss = append(res.EpochLoss, avgOrNaN(t.Dev, epochLossSum, epochLossN))
 					epochLossSum, epochLossN = 0, 0
+					now := time.Now()
+					sec := now.Sub(epochStart).Seconds()
+					res.EpochWallSeconds = append(res.EpochWallSeconds, sec)
+					epochStart = now
+					if metrics.Enabled() {
+						mEpochSeconds.Observe(sec)
+					}
 				}
 			}
 		}
@@ -231,6 +251,17 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 	res.Steps = step
 	res.SimSeconds = t.Dev.Now()
 	res.Device = t.Dev.Stats()
+	res.WallSeconds = time.Since(runStart).Seconds()
+	if res.WallSeconds > 0 {
+		res.ExamplesPerSec = float64(res.Examples) / res.WallSeconds
+	}
+	if metrics.Enabled() {
+		mRuns.Inc()
+		mSteps.Add(int64(res.Steps))
+		mExamples.Add(int64(res.Examples))
+		mChunks.Add(int64(res.Chunks))
+		mExamplesPerSec.Set(res.ExamplesPerSec)
+	}
 	return res, nil
 }
 

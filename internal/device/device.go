@@ -14,11 +14,20 @@
 // a transfer for the next data chunk can proceed while the cores train on
 // the current one, which is precisely the loading-thread double-buffering
 // scheme of the paper's Fig. 5.
+//
+// When metrics collection is enabled (internal/metrics), the device
+// additionally records the *real* host seconds spent in numeric kernels
+// and host-side copies (device.wall.*) next to the simulated charges
+// (device.sim.*), so a run report shows both clocks side by side. The
+// relationship between them is documented in DESIGN.md's "Observability"
+// section.
 package device
 
 import (
 	"fmt"
+	"time"
 
+	"phideep/internal/metrics"
 	"phideep/internal/parallel"
 	"phideep/internal/sim"
 	"phideep/internal/tensor"
@@ -183,13 +192,24 @@ func (d *Device) CopyIn(b *Buffer, host *tensor.Matrix, earliest float64) float6
 		if host.Rows != b.Rows || host.Cols != b.Cols {
 			panic(fmt.Sprintf("device: CopyIn shape mismatch: host %dx%d, buffer %dx%d", host.Rows, host.Cols, b.Rows, b.Cols))
 		}
-		b.Mat.CopyFrom(host)
+		if metrics.Enabled() {
+			t0 := time.Now()
+			b.Mat.CopyFrom(host)
+			mWallTransfer.Add(time.Since(t0).Seconds())
+		} else {
+			b.Mat.CopyFrom(host)
+		}
 	}
 	dur := d.Arch.TransferTime(b.bytes)
 	start, end := d.transfer.Schedule(earliest, dur)
 	b.readyAt = end
 	d.transfers++
 	d.moved += b.bytes
+	if metrics.Enabled() {
+		mTransfers.Inc()
+		mBytesMoved.Add(b.bytes)
+		mSimTransfer.Add(dur)
+	}
 	d.trace.add(TraceEvent{Name: fmt.Sprintf("copy-in %d B", b.bytes), Engine: "transfer", Start: start, End: end})
 	return end
 }
@@ -206,7 +226,13 @@ func (d *Device) CopyOut(b *Buffer, host *tensor.Matrix) float64 {
 		if host == nil {
 			panic("device: CopyOut with nil host matrix on a numeric device")
 		}
-		host.CopyFrom(b.Mat)
+		if metrics.Enabled() {
+			t0 := time.Now()
+			host.CopyFrom(b.Mat)
+			mWallTransfer.Add(time.Since(t0).Seconds())
+		} else {
+			host.CopyFrom(b.Mat)
+		}
 	}
 	ready := b.ready()
 	if cb := d.compute.BusyUntil(); cb > ready {
@@ -216,6 +242,11 @@ func (d *Device) CopyOut(b *Buffer, host *tensor.Matrix) float64 {
 	start, end := d.transfer.Schedule(ready, dur)
 	d.transfers++
 	d.moved += b.bytes
+	if metrics.Enabled() {
+		mTransfers.Inc()
+		mBytesMoved.Add(b.bytes)
+		mSimTransfer.Add(dur)
+	}
 	d.trace.add(TraceEvent{Name: fmt.Sprintf("copy-out %d B", b.bytes), Engine: "transfer", Start: start, End: end})
 	return end
 }
@@ -247,9 +278,19 @@ func (d *Device) Exec(op sim.Op, deps []*Buffer, writes []*Buffer, fn func()) {
 	}
 	d.ops++
 	d.flops += op.Flops()
+	if metrics.Enabled() {
+		mLaunches.Inc()
+		mSimCompute.Add(dur)
+	}
 	d.trace.add(TraceEvent{Name: opName(op), Engine: "compute", Start: start, End: end})
 	if d.Numeric && fn != nil {
-		fn()
+		if metrics.Enabled() {
+			t0 := time.Now()
+			fn()
+			mWallCompute.Add(time.Since(t0).Seconds())
+		} else {
+			fn()
+		}
 	}
 }
 
@@ -331,6 +372,10 @@ func (d *Device) ExecConcurrent(branches []Branch) {
 		durs[i] = d.Arch.OpTime(op)
 		d.ops++
 		d.flops += op.Flops()
+		if metrics.Enabled() {
+			mLaunches.Inc()
+			mSimCompute.Add(durs[i])
+		}
 	}
 	groupStart := d.compute.BusyUntil()
 	end := d.compute.ScheduleGroup(ready, durs)
@@ -352,7 +397,14 @@ func (d *Device) ExecConcurrent(branches []Branch) {
 	}
 	if d.Numeric {
 		for i := range branches {
-			if branches[i].Fn != nil {
+			if branches[i].Fn == nil {
+				continue
+			}
+			if metrics.Enabled() {
+				t0 := time.Now()
+				branches[i].Fn()
+				mWallCompute.Add(time.Since(t0).Seconds())
+			} else {
 				branches[i].Fn()
 			}
 		}

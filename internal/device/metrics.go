@@ -1,0 +1,22 @@
+package device
+
+import "phideep/internal/metrics"
+
+// Wall-clock observability handles (DESIGN.md §"Observability"). The
+// device already keeps *simulated* timelines for the paper's timing
+// reproduction; these metrics add the *real* host clock next to them —
+// device.sim.* accumulates modeled seconds as charged by the cost model,
+// device.wall.* accumulates measured Go execution seconds of the same
+// work — so one snapshot compares the two. Recording happens per kernel
+// launch / transfer and only while metrics.Enabled() holds.
+var (
+	mLaunches   = metrics.Default().Counter("device.kernel.launches")
+	mTransfers  = metrics.Default().Counter("device.transfers")
+	mBytesMoved = metrics.Default().Counter("device.bytes_moved")
+
+	mSimCompute  = metrics.Default().FloatCounter("device.sim.compute_seconds")
+	mSimTransfer = metrics.Default().FloatCounter("device.sim.transfer_seconds")
+
+	mWallCompute  = metrics.Default().FloatCounter("device.wall.compute_seconds")
+	mWallTransfer = metrics.Default().FloatCounter("device.wall.transfer_seconds")
+)

@@ -2,7 +2,9 @@ package kernels
 
 import (
 	"fmt"
+	"time"
 
+	"phideep/internal/metrics"
 	"phideep/internal/parallel"
 	"phideep/internal/tensor"
 )
@@ -15,7 +17,36 @@ import (
 // micro-kernel (gemm_packed.go); Naive and Parallel run scalar row loops.
 // All levels compute the same result up to floating-point association
 // order.
+//
+// When metrics collection is enabled (internal/metrics), every call records
+// its count, flop volume, wall-clock duration and the micro-kernel path
+// taken (assembly, Go fallback, or scalar); disabled, the instrumentation
+// is one atomic load.
 func Gemm(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	if !metrics.Enabled() {
+		gemmDispatch(pool, lvl, transA, transB, alpha, a, b, beta, c)
+		return
+	}
+	start := time.Now()
+	gemmDispatch(pool, lvl, transA, transB, alpha, a, b, beta, c)
+	mGemmSeconds.Observe(time.Since(start).Seconds())
+	mGemmCalls.Inc()
+	m, k := opShape(a, transA)
+	_, n := opShape(b, transB)
+	mGemmFlops.Add(2 * float64(m) * float64(k) * float64(n))
+	switch {
+	case lvl.IsBlocked() && useAsmKernel:
+		mGemmPathAsm.Inc()
+	case lvl.IsBlocked():
+		mGemmPathGo.Inc()
+	default:
+		mGemmPathScalar.Inc()
+	}
+}
+
+// gemmDispatch is the uninstrumented Gemm body: validate, then route to the
+// packed micro-kernel or the scalar row loops.
+func gemmDispatch(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
 	m, ka := opShape(a, transA)
 	kb, n := opShape(b, transB)
 	if ka != kb {
@@ -44,7 +75,7 @@ func Gemm(pool *parallel.Pool, lvl Level, transA, transB bool, alpha float64, a,
 	// the scalar kernels below only handle three layouts. TT does not occur
 	// in the training hot paths.
 	if transA && transB {
-		Gemm(pool, lvl, false, true, alpha, a.T(), b, 1, c)
+		gemmDispatch(pool, lvl, false, true, alpha, a.T(), b, 1, c)
 		return
 	}
 
@@ -158,6 +189,9 @@ const gemvTransMinWork = 4096
 // Gemv computes y = alpha*op(A)*x + beta*y. Shapes: op(A) is m×n, x length
 // n, y length m.
 func Gemv(pool *parallel.Pool, lvl Level, transA bool, alpha float64, a *tensor.Matrix, x tensor.Vector, beta float64, y tensor.Vector) {
+	if metrics.Enabled() {
+		mGemvCalls.Inc()
+	}
 	m, n := opShape(a, transA)
 	if len(x) != n || len(y) != m {
 		panic(fmt.Sprintf("kernels: Gemv shape mismatch: op(A)=%dx%d, x=%d, y=%d", m, n, len(x), len(y)))

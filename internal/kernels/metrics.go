@@ -1,0 +1,30 @@
+package kernels
+
+import "phideep/internal/metrics"
+
+// Wall-clock observability handles (DESIGN.md §"Observability"). Handles
+// are resolved once here; every record site is guarded by metrics.Enabled,
+// so with collection disabled the kernels pay one atomic load per call —
+// never per element — and the packed path stays allocation-free.
+var (
+	// mGemmCalls / mGemmFlops / mGemmSeconds describe every Gemm call:
+	// how many, how much arithmetic (2·m·k·n flops each), and the real
+	// host seconds per call (exponential buckets, 1 µs – ~16 s).
+	mGemmCalls   = metrics.Default().Counter("kernels.gemm.calls")
+	mGemmFlops   = metrics.Default().FloatCounter("kernels.gemm.flops")
+	mGemmSeconds = metrics.Default().Histogram("kernels.gemm.seconds", metrics.ExpBuckets(1e-6, 4, 12)...)
+
+	// Micro-kernel path taken per Gemm call: the AVX2+FMA assembly tile,
+	// the pure-Go register-tile fallback, or the scalar (unblocked) loops.
+	mGemmPathAsm    = metrics.Default().Counter("kernels.gemm.path.asm")
+	mGemmPathGo     = metrics.Default().Counter("kernels.gemm.path.go")
+	mGemmPathScalar = metrics.Default().Counter("kernels.gemm.path.scalar")
+
+	mGemvCalls = metrics.Default().Counter("kernels.gemv.calls")
+
+	// Pack-arena pool behaviour: reuse means a pooled scratch buffer was
+	// large enough, grow means it had to reallocate. In steady state the
+	// grow count stops moving — the zero-alloc claim, made observable.
+	mArenaReuse = metrics.Default().Counter("kernels.pack.arena.reuse")
+	mArenaGrow  = metrics.Default().Counter("kernels.pack.arena.grow")
+)

@@ -3,6 +3,7 @@ package kernels
 import (
 	"sync"
 
+	"phideep/internal/metrics"
 	"phideep/internal/tensor"
 )
 
@@ -27,10 +28,18 @@ type arena struct {
 }
 
 // ensure returns a slice of exactly n elements backed by the arena,
-// growing the backing store if needed. Contents are unspecified.
+// growing the backing store if needed. Contents are unspecified. When
+// metrics are enabled each call is classified as a pool reuse (capacity
+// sufficed) or a grow (reallocation) — the observable form of the
+// steady-state zero-alloc claim.
 func (ar *arena) ensure(n int) []float64 {
 	if cap(ar.buf) < n {
+		if metrics.Enabled() {
+			mArenaGrow.Inc()
+		}
 		ar.buf = make([]float64, n)
+	} else if metrics.Enabled() {
+		mArenaReuse.Inc()
 	}
 	return ar.buf[:n]
 }
@@ -132,7 +141,7 @@ func kernelTile(kc int, ap, bp []float64, out *[mr * nr]float64) {
 func kernelTileGo(kc int, ap, bp []float64, out *[mr * nr]float64) {
 	_ = ap[:kc*mr]
 	_ = bp[:kc*nr]
-	for half := 0; half < nr / 2; half++ {
+	for half := 0; half < nr/2; half++ {
 		var s00, s01 float64
 		var s10, s11 float64
 		var s20, s21 float64

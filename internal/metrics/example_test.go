@@ -1,0 +1,79 @@
+package metrics_test
+
+import (
+	"fmt"
+	"os"
+
+	"phideep/internal/metrics"
+)
+
+// ExampleRegistry shows the get-or-create lookup pattern: resolve handles
+// once, record against the handles.
+func ExampleRegistry() {
+	r := metrics.NewRegistry()
+	calls := r.Counter("gemm.calls")
+	flops := r.FloatCounter("gemm.flops")
+	for i := 0; i < 3; i++ {
+		calls.Inc()
+		flops.Add(2 * 512 * 512 * 512)
+	}
+	fmt.Printf("%d calls, %.0f flops\n", calls.Value(), flops.Value())
+	// Output: 3 calls, 805306368 flops
+}
+
+// ExampleRegistry_Snapshot exports a registry as an aligned text table —
+// the end-of-run summary the CLIs print.
+func ExampleRegistry_Snapshot() {
+	r := metrics.NewRegistry()
+	r.Counter("kernels.gemm.calls").Add(128)
+	r.Gauge("trainer.examples_per_sec").Set(2048)
+	s := r.Snapshot()
+	s.WriteText(os.Stdout)
+	// Output:
+	// counter  kernels.gemm.calls        128
+	// gauge    trainer.examples_per_sec  2048
+}
+
+// ExampleHistogram records durations into exponential buckets and reads the
+// aggregates back.
+func ExampleHistogram() {
+	r := metrics.NewRegistry()
+	h := r.Histogram("epoch.seconds", metrics.ExpBuckets(0.001, 10, 4)...)
+	for _, sec := range []float64{0.0004, 0.02, 0.03, 2.5} {
+		h.Observe(sec)
+	}
+	s := r.Snapshot().Histograms["epoch.seconds"]
+	fmt.Printf("count=%d min=%g max=%g\n", s.Count, s.Min, s.Max)
+	fmt.Println("bounds:", s.Bounds)
+	fmt.Println("counts:", s.Counts)
+	// Output:
+	// count=4 min=0.0004 max=2.5
+	// bounds: [0.001 0.01 0.1 1]
+	// counts: [1 0 2 0 1]
+}
+
+// ExampleSetEnabled shows the global gate instrumented packages consult
+// before recording.
+func ExampleSetEnabled() {
+	defer metrics.SetEnabled(false)
+	metrics.SetEnabled(true)
+	if metrics.Enabled() {
+		metrics.Default().Counter("example.hits").Inc()
+	}
+	fmt.Println(metrics.Enabled())
+	// Output: true
+}
+
+// ExampleSnapshot_WriteJSON exports a run report as JSON, the format behind
+// phitrain's -metrics flag.
+func ExampleSnapshot_WriteJSON() {
+	r := metrics.NewRegistry()
+	r.Counter("trainer.steps").Add(200)
+	r.Snapshot().WriteJSON(os.Stdout)
+	// Output:
+	// {
+	//   "counters": {
+	//     "trainer.steps": 200
+	//   }
+	// }
+}

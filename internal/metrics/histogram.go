@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// A Histogram counts observations into a bounded set of buckets with fixed
+// upper bounds, and tracks count, sum, min and max. Observations are
+// lock-free: one atomic add on the bucket, plus atomic updates of the
+// aggregates. Bucket bounds are fixed at construction, so a histogram's
+// memory is bounded no matter how many values it observes.
+type Histogram struct {
+	bounds []float64      // strictly increasing finite upper bounds
+	counts []atomic.Int64 // len(bounds)+1; the last counts v > bounds[last]
+	count  atomic.Int64
+	sum    FloatCounter
+	min    atomic.Uint64 // float64 bits, CAS-updated; +Inf when empty
+	max    atomic.Uint64 // float64 bits, CAS-updated; -Inf when empty
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: histogram bound %d is %v; bounds must be finite", i, b))
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic(fmt.Sprintf("metrics: histogram bounds must be strictly increasing, got %v then %v", bounds[i-1], b))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. A value v lands in the first bucket whose
+// upper bound satisfies v <= bound; values above every bound land in the
+// overflow bucket.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.reset()
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// snapshot copies the histogram state. Buckets are read without a global
+// lock, so a snapshot taken during concurrent observation is a consistent
+// *per-bucket* view (totals may trail individual buckets by in-flight
+// observations).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.min.Load())
+		s.Max = math.Float64frombits(h.max.Load())
+	}
+	return s
+}
+
+// ExpBuckets returns n strictly increasing upper bounds starting at start
+// and growing by factor: start, start·factor, start·factor², …. It is the
+// conventional shape for latency histograms (e.g. ExpBuckets(1e-6, 4, 12)
+// spans a microsecond to several seconds).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%v, %v, %d): need start > 0, factor > 1, n > 0", start, factor, n))
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n strictly increasing upper bounds start,
+// start+width, start+2·width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic(fmt.Sprintf("metrics: LinearBuckets(%v, %v, %d): need width > 0, n > 0", start, width, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run under
+// -race this also proves the increment path is race-free.
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 10000
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestFloatCounterConcurrent checks the CAS accumulation loop under
+// contention: integer-valued increments must sum exactly.
+func TestFloatCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	var c FloatCounter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("FloatCounter = %g, want %d", got, goroutines*perG)
+	}
+}
+
+// TestHistogramConcurrent observes from many goroutines and checks the
+// total lands in the right buckets.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g % 4)) // 0,1,2,3 round-robin across goroutines
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	// g%4==0 and g%4==1 both land in bucket 0 (v <= 1): 4000 observations.
+	if s.Counts[0] != 4000 || s.Counts[1] != 2000 || s.Counts[2] != 2000 || s.Counts[3] != 0 {
+		t.Fatalf("bucket counts %v", s.Counts)
+	}
+	if s.Min != 0 || s.Max != 3 {
+		t.Fatalf("min/max %g/%g", s.Min, s.Max)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the v <= bound ("le") semantics:
+// a value equal to a bound belongs to that bound's bucket, epsilon above
+// falls through to the next, and values above every bound overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 10.5, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// <=1: {0.5, 1}; <=10: {1.0000001, 10}; <=100: {10.5, 100};
+	// overflow: {101, 1e9}.
+	want := []int64{2, 2, 2, 2}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("bucket counts %v, want %v", s.Counts, want)
+	}
+	if s.Min != 0.5 || s.Max != 1e9 {
+		t.Fatalf("min/max %g/%g", s.Min, s.Max)
+	}
+}
+
+// TestHistogramEmpty: an empty histogram snapshots with zero aggregates —
+// never ±Inf, which would not survive JSON.
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram([]float64{1})
+	s := h.snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean %g", s.Mean())
+	}
+	if data, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty histogram does not marshal: %v (%s)", err, data)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"non-increasing": {1, 1},
+		"descending":     {2, 1},
+		"nan":            {math.NaN()},
+		"inf":            {math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds %v did not panic", name, bounds)
+				}
+			}()
+			newHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if math.Abs(exp[i]-want[i]) > 1e-18 {
+			t.Fatalf("ExpBuckets %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 2.5, 3)
+	if !reflect.DeepEqual(lin, []float64{0, 2.5, 5}) {
+		t.Fatalf("LinearBuckets %v", lin)
+	}
+	// Helpers must produce bounds a histogram accepts.
+	newHistogram(ExpBuckets(1e-6, 4, 12))
+}
+
+// TestRegistryGetOrCreate: one name, one handle; a second lookup returns the
+// same pointer so package-level handles and ad-hoc lookups agree.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.FloatCounter("f") != r.FloatCounter("f") {
+		t.Fatal("FloatCounter not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Histogram("h", 1, 2) != r.Histogram("h") {
+		t.Fatal("Histogram not idempotent")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter's name did not panic")
+		}
+	}()
+	r.Gauge("name")
+}
+
+// TestRegistryConcurrentLookup races get-or-create from many goroutines;
+// all must converge on one handle and the final count must be exact.
+func TestRegistryConcurrentLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat", 1, 2, 3).Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter %d", got)
+	}
+	if got := r.Histogram("lat").Count(); got != 8000 {
+		t.Fatalf("histogram count %d", got)
+	}
+}
+
+// TestSnapshotJSONRoundTrip marshals a populated snapshot and unmarshals it
+// back; every field must survive.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("calls").Add(42)
+	r.FloatCounter("flops").Add(1.5e9)
+	r.Gauge("throughput").Set(123.25)
+	h := r.Histogram("seconds", 0.001, 0.01, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+	if back.Counters["calls"] != 42 || back.Histograms["seconds"].Count != 3 {
+		t.Fatalf("unexpected values after round trip: %+v", back)
+	}
+}
+
+// TestSnapshotDetached: a snapshot must not change when recording continues.
+func TestSnapshotDetached(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	s := r.Snapshot()
+	c.Add(100)
+	if s.Counters["c"] != 5 {
+		t.Fatalf("snapshot moved with the live counter: %d", s.Counters["c"])
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	f := r.FloatCounter("f")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 1)
+	c.Add(3)
+	f.Add(1.5)
+	g.Set(9)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || f.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("Reset left values behind")
+	}
+	// Handles stay live after Reset.
+	c.Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Fatal("handle dead after Reset")
+	}
+	if s := h.snapshot(); s.Min != 0 || s.Max != 0 {
+		t.Fatalf("histogram min/max not rearmed: %+v", s)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.calls").Add(2)
+	r.Counter("a.calls").Add(1)
+	r.Gauge("rate").Set(3.5)
+	r.Histogram("lat", 1, 2).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.calls") || !strings.Contains(out, "rate") || !strings.Contains(out, "count=1") {
+		t.Fatalf("text summary missing entries:\n%s", out)
+	}
+	// Alphabetical within a kind.
+	if strings.Index(out, "a.calls") > strings.Index(out, "b.calls") {
+		t.Fatalf("text summary not sorted:\n%s", out)
+	}
+}
+
+func TestEnabledGate(t *testing.T) {
+	defer SetEnabled(Enabled())
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("not Enabled after SetEnabled(true)")
+	}
+}
+
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default registry not a singleton")
+	}
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+)
+
+// A Registry is a named collection of metrics. Lookup methods get-or-create
+// under a mutex — callers are expected to resolve handles once (typically
+// in a package var block) and record against the handles, so the lock never
+// sits on a hot path. A name identifies exactly one metric of one kind;
+// reusing a name with a different kind panics, catching wiring bugs at
+// init time.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	floats   map[string]*FloatCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		floats:   map[string]*FloatCounter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// std is the process-wide default registry that the instrumented packages
+// (kernels, parallel, device, core) register into.
+var std = NewRegistry()
+
+// Default returns the process-wide registry used by phideep's built-in
+// instrumentation.
+func Default() *Registry { return std }
+
+// checkKind panics if name is already registered under a different kind.
+// Caller holds r.mu.
+func (r *Registry) checkKind(name, kind string) {
+	kinds := map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"float":     r.floats[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+	}
+	for k, present := range kinds {
+		if present && k != kind {
+			panic(fmt.Sprintf("metrics: %q already registered as a %s, requested as a %s", name, k, kind))
+		}
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	r.checkKind(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// FloatCounter returns the float counter registered under name, creating it
+// on first use.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.floats[name]; c != nil {
+		return c
+	}
+	r.checkKind(name, "float")
+	c := &FloatCounter{}
+	r.floats[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	r.checkKind(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Later calls return the
+// existing histogram; their bounds argument is ignored, so all registrants
+// of one name should agree on the shape.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	r.checkKind(name, "histogram")
+	h := newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Reset zeroes every registered metric in place. Handles held by
+// instrumented packages stay valid — only the values rewind — so Reset
+// gives per-run numbers to processes that execute several runs (and
+// isolation to tests).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, c := range r.floats {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// Snapshot copies the current value of every registered metric. The copy is
+// detached: it never changes after the call and is safe to marshal or
+// inspect while recording continues.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Floats:     make(map[string]float64, len(r.floats)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, c := range r.floats {
+		s.Floats[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry, keyed by metric name.
+// It round-trips through encoding/json (histogram min/max are reported as 0
+// while empty, so no non-finite values reach the encoder).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Floats     map[string]float64           `json:"floats,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the copied state of one histogram. Counts has
+// len(Bounds)+1 entries: Counts[i] observations satisfied v <= Bounds[i]
+// (and exceeded Bounds[i-1]); the final entry is the overflow bucket.
+// Min and Max are 0 while Count is 0.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot as an aligned, alphabetically sorted text
+// table — the end-of-run summary the CLIs print.
+func (s Snapshot) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(tw, "counter\t%s\t%d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Floats) {
+		fmt.Fprintf(tw, "float\t%s\t%g\n", name, s.Floats[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(tw, "gauge\t%s\t%g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%g min=%g max=%g mean=%g\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+	}
+	return tw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -23,6 +23,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"phideep/internal/metrics"
+)
+
+// Observability handles (DESIGN.md §"Observability"). Regions, items and
+// durations are recorded per fork/join submission — For, ForRanger,
+// ReduceSum and Run each count as one region — and only when
+// metrics.Enabled() holds, so the allocation-free steady state of the hot
+// loop is untouched when collection is off.
+var (
+	mRegions       = metrics.Default().Counter("parallel.regions")
+	mRegionItems   = metrics.Default().Counter("parallel.region.items")
+	mRegionSeconds = metrics.Default().Histogram("parallel.region.seconds", metrics.ExpBuckets(1e-6, 4, 12)...)
+	mPoolWorkers   = metrics.Default().Gauge("parallel.workers")
 )
 
 // Schedule selects how loop iterations are assigned to workers, mirroring
@@ -114,7 +129,28 @@ func NewPool(workers int) *Pool {
 		p.wake[i] = make(chan struct{}, 1)
 		go p.worker(i)
 	}
+	mPoolWorkers.Set(float64(workers))
 	return p
+}
+
+// regionStart returns the region's start time when metrics are enabled, or
+// the zero Time when disabled (one atomic load on the hot path).
+func regionStart() time.Time {
+	if metrics.Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// regionEnd records one fork/join region of n iterations. A zero start
+// (metrics disabled at regionStart) records nothing.
+func regionEnd(start time.Time, n int) {
+	if start.IsZero() {
+		return
+	}
+	mRegionSeconds.Observe(time.Since(start).Seconds())
+	mRegions.Inc()
+	mRegionItems.Add(int64(n))
 }
 
 func (p *Pool) worker(id int) {
@@ -225,12 +261,14 @@ func (p *Pool) For(n int, s Schedule, chunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	start := regionStart()
 	if p.workers == 1 {
 		body(0, n)
-		return
+	} else {
+		p.fn = body
+		p.submit(n, s, chunk)
 	}
-	p.fn = body
-	p.submit(n, s, chunk)
+	regionEnd(start, n)
 }
 
 // ForRanger is For with an interface body instead of a func. Passing a
@@ -241,12 +279,14 @@ func (p *Pool) ForRanger(n int, s Schedule, chunk int, body Ranger) {
 	if n <= 0 {
 		return
 	}
+	start := regionStart()
 	if p.workers == 1 {
 		body.Range(0, n)
-		return
+	} else {
+		p.ranger = body
+		p.submit(n, s, chunk)
 	}
-	p.ranger = body
-	p.submit(n, s, chunk)
+	regionEnd(start, n)
 }
 
 func (p *Pool) submit(n int, s Schedule, chunk int) {
@@ -281,8 +321,11 @@ func (p *Pool) ReduceSum(n int, body func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
+	start := regionStart()
 	if p.workers == 1 {
-		return body(0, n)
+		total := body(0, n)
+		regionEnd(start, n)
+		return total
 	}
 	p.mode = modeReduce
 	p.red = body
@@ -294,6 +337,7 @@ func (p *Pool) ReduceSum(n int, body func(lo, hi int) float64) float64 {
 	for _, v := range p.partials[:blocks] {
 		total += v
 	}
+	regionEnd(start, n)
 	return total
 }
 
@@ -305,14 +349,16 @@ func (p *Pool) Run(thunks ...func()) {
 	if len(thunks) == 0 {
 		return
 	}
+	start := regionStart()
 	if len(thunks) == 1 || p.workers == 1 {
 		for _, f := range thunks {
 			f()
 		}
-		return
+	} else {
+		p.mode = modeThunks
+		p.thunks = thunks
+		p.cursor.Store(0)
+		p.fork()
 	}
-	p.mode = modeThunks
-	p.thunks = thunks
-	p.cursor.Store(0)
-	p.fork()
+	regionEnd(start, len(thunks))
 }
