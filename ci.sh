@@ -24,4 +24,6 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/...
+# core and stack carry the fault-injection, checkpoint/resume and chunk
+# prefetch tests, which overlap the loading goroutine with training.
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/...

@@ -70,6 +70,15 @@ func main() {
 		metricsTo = flag.String("metrics", "", "write a JSON run report (wall-clock timings, throughput, kernel counters) to this file")
 		stats     = flag.Bool("stats", false, "print the metrics registry as a table at the end of the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		checkpoint = flag.String("checkpoint", "", "periodically write crash-consistent training checkpoints to this file (for stack/dbn: the base of per-layer files)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint cadence in chunks")
+		resume     = flag.String("resume", "", "resume training from this checkpoint file (starts fresh if the file does not exist)")
+
+		faultRate    = flag.Float64("fault-rate", 0, "per-attempt PCIe transfer fault probability [0,1) — 0 disables the fault model")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed of the deterministic fault stream")
+		faultPerm    = flag.Float64("fault-permanent", 0, "fraction of faults that are permanent (non-retryable) [0,1]")
+		faultRetries = flag.Int("fault-retries", 0, "retry budget per transfer (0 = default 4)")
 	)
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -81,7 +90,10 @@ func main() {
 	}
 	opts := options{momentum: *momentum, corruption: *corrupt, tied: *tied,
 		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive,
-		metricsPath: *metricsTo, stats: *stats}
+		metricsPath: *metricsTo, stats: *stats,
+		checkpoint: *checkpoint, checkpointEvery: *ckptEvery, resume: *resume,
+		faultRate: *faultRate, faultSeed: *faultSeed,
+		faultPermanent: *faultPerm, faultRetries: *faultRetries}
 	if err := run(*modelKind, *dataKind, *side, *visible, *hidden, *sizes, *examples, *batch,
 		*epochs, *iters, *lr, *lambda, *beta, *rho, *level, *arch, *cores, *numeric, *prefetch, *seed, *trace, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "phitrain:", err)
@@ -151,7 +163,8 @@ func (s nullSource) Dim() int                                { return s.d }
 func (s nullSource) Len() int                                { return s.n }
 func (s nullSource) Chunk(start, n int, dst *phideep.Matrix) {}
 
-// options bundles the model-variant and observability switches.
+// options bundles the model-variant, fault-tolerance and observability
+// switches.
 type options struct {
 	momentum, corruption float64
 	tied                 bool
@@ -160,6 +173,15 @@ type options struct {
 	adaptive             bool
 	metricsPath          string // -metrics: JSON run-report destination
 	stats                bool   // -stats: print the registry table at exit
+
+	checkpoint      string // -checkpoint: crash-consistent snapshot file (stack: base path)
+	checkpointEvery int    // -checkpoint-every: cadence in chunks
+	resume          string // -resume: checkpoint to restart from (lenient if missing)
+
+	faultRate      float64 // -fault-rate: per-attempt transfer fault probability
+	faultSeed      uint64  // -fault-seed: fault-stream seed
+	faultPermanent float64 // -fault-permanent: permanent fraction of faults
+	faultRetries   int     // -fault-retries: retry budget (0 = default)
 }
 
 func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string,
@@ -202,6 +224,18 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	if iters > 0 {
 		tc.Epochs = 0
 	}
+	tc.CheckpointPath = opts.checkpoint
+	tc.CheckpointEvery = opts.checkpointEvery
+	if opts.resume != "" {
+		if _, err := os.Stat(opts.resume); err == nil {
+			tc.ResumePath = opts.resume
+		} else {
+			// Lenient resume: a missing checkpoint means "first run" —
+			// start fresh rather than failing, so the same command line
+			// works before and after an interruption.
+			fmt.Fprintf(os.Stderr, "phitrain: no checkpoint at %s, starting fresh\n", opts.resume)
+		}
+	}
 	if opts.adaptive {
 		startLR := lr
 		if startLR <= 0 {
@@ -240,6 +274,12 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 			}
 			model = m
 		}
+		// Faults go live only after the initial parameter upload, so a
+		// harsh -fault-rate exercises the training loop's retry and
+		// degradation paths rather than aborting model construction.
+		if err := enableFaults(mach.Dev, opts); err != nil {
+			return err
+		}
 		trainer := &phideep.Trainer{Dev: mach.Dev, Cfg: tc}
 		res, err := trainer.Run(model, src)
 		if err != nil {
@@ -268,6 +308,9 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 			Sizes: layerSizes, Lambda: lambda, Beta: beta, Rho: rho, Batch: batch, LR: lr,
 			Momentum: opts.momentum, Corruption: opts.corruption, Tied: opts.tied,
 		}
+		if err := enableFaults(mach.Dev, opts); err != nil {
+			return err
+		}
 		var res *phideep.StackResult
 		if modelKind == "stack" {
 			res, err = phideep.PretrainAutoencoders(ctx, tc, scfg, src, seed)
@@ -281,6 +324,10 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		}
 		fmt.Printf("%s %v on %s [%s]\n", modelKind, layerSizes, archDesc.Name, lvl)
 		for i, l := range res.Layers {
+			if l.Restored {
+				fmt.Printf("  layer %d (%d -> %d): restored from checkpoint\n", i, l.Visible, l.Hidden)
+				continue
+			}
 			fmt.Printf("  layer %d (%d -> %d): steps=%d firstLoss=%.5f finalLoss=%.5f wall=%.3fs\n",
 				i, l.Visible, l.Hidden, l.Train.Steps, l.Train.FirstLoss, l.Train.FinalLoss, l.Train.WallSeconds)
 		}
@@ -300,6 +347,20 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	default:
 		return fmt.Errorf("unknown model %q", modelKind)
 	}
+}
+
+// enableFaults arms the device's PCIe fault model when -fault-rate is
+// positive; zero values fall through to the model's defaults.
+func enableFaults(dev *phideep.Device, opts options) error {
+	if opts.faultRate <= 0 {
+		return nil
+	}
+	return dev.EnableFaults(phideep.FaultConfig{
+		Rate:          opts.faultRate,
+		PermanentFrac: opts.faultPermanent,
+		Seed:          opts.faultSeed,
+		MaxRetries:    opts.faultRetries,
+	})
 }
 
 func parseSizes(s string, visible, hidden int) ([]int, error) {
@@ -331,4 +392,14 @@ func printResult(res *phideep.TrainResult, numeric bool) {
 		res.SimSeconds, res.Device.ComputeBusy, res.Device.TransferBusy, res.Device.Ops)
 	fmt.Printf("  modeled flops: %.3g, PCIe bytes: %d, peak device memory: %d MB\n",
 		res.Device.Flops, res.Device.BytesMoved, res.Device.PeakAllocated>>20)
+	if res.Resumed {
+		fmt.Println("  resumed from checkpoint")
+	}
+	if res.Checkpoints > 0 {
+		fmt.Printf("  checkpoints written: %d\n", res.Checkpoints)
+	}
+	if d := res.Device; d.FaultsTransient+d.FaultsPermanent > 0 {
+		fmt.Printf("  transfer faults: %d transient, %d permanent; %d retries, %.3f s backoff; %d transfers failed, %d chunks skipped\n",
+			d.FaultsTransient, d.FaultsPermanent, d.Retries, d.BackoffSeconds, d.FailedTransfers, res.SkippedChunks)
+	}
 }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Checkpointer is implemented by Trainables that can serialize their full
+// resumable training state (parameters plus the sampling-RNG stream). The
+// autoencoder and rbm Models implement it; TrainConfig's checkpoint and
+// resume options require it.
+type Checkpointer interface {
+	SaveState(w io.Writer) error
+	RestoreState(r io.Reader) error
+}
+
+// Checkpoint is one crash-consistent snapshot of a training run: the run
+// cursor (enough to re-enter Algorithm 1's chunk loop at the exact point
+// the snapshot was taken) plus the model's opaque state blob.
+//
+// On-disk layout (little endian):
+//
+//	magic   [4]byte  "PHCK"
+//	version uint32   1
+//	step, chunk, examples, skipped  uint64
+//	firstLoss, epochLossSum         float64
+//	epochLossN                      uint64
+//	epochLoss  uint64 count + count × float64
+//	model      uint64 length + blob (Checkpointer.SaveState output)
+//	crc     uint64   CRC-64/ECMA of everything after the magic
+type Checkpoint struct {
+	Step     int
+	Chunk    int
+	Examples int
+	Skipped  int
+
+	FirstLoss    float64
+	EpochLossSum float64
+	EpochLossN   int
+	EpochLoss    []float64
+
+	Model []byte
+}
+
+var ckptMagic = [4]byte{'P', 'H', 'C', 'K'}
+
+const ckptVersion = 1
+
+var ckptCRC = crc64.MakeTable(crc64.ECMA)
+
+// encode renders the checkpoint to its on-disk byte form.
+func (c *Checkpoint) encode() []byte {
+	var body bytes.Buffer
+	le := binary.LittleEndian
+	w64 := func(v uint64) {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		body.Write(b[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	var ver [4]byte
+	le.PutUint32(ver[:], ckptVersion)
+	body.Write(ver[:])
+	w64(uint64(c.Step))
+	w64(uint64(c.Chunk))
+	w64(uint64(c.Examples))
+	w64(uint64(c.Skipped))
+	wf(c.FirstLoss)
+	wf(c.EpochLossSum)
+	w64(uint64(c.EpochLossN))
+	w64(uint64(len(c.EpochLoss)))
+	for _, v := range c.EpochLoss {
+		wf(v)
+	}
+	w64(uint64(len(c.Model)))
+	body.Write(c.Model)
+
+	out := make([]byte, 0, 4+body.Len()+8)
+	out = append(out, ckptMagic[:]...)
+	out = append(out, body.Bytes()...)
+	var crc [8]byte
+	le.PutUint64(crc[:], crc64.Checksum(body.Bytes(), ckptCRC))
+	return append(out, crc[:]...)
+}
+
+// decodeCheckpoint parses and verifies an encoded checkpoint.
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < 4+4+8 || !bytes.Equal(data[:4], ckptMagic[:]) {
+		return nil, fmt.Errorf("core: checkpoint: bad magic or truncated file")
+	}
+	body, crcBytes := data[4:len(data)-8], data[len(data)-8:]
+	le := binary.LittleEndian
+	if crc64.Checksum(body, ckptCRC) != le.Uint64(crcBytes) {
+		return nil, fmt.Errorf("core: checkpoint: checksum mismatch (file corrupt)")
+	}
+	if v := le.Uint32(body[:4]); v != ckptVersion {
+		return nil, fmt.Errorf("core: checkpoint: version %d, want %d", v, ckptVersion)
+	}
+	body = body[4:]
+	r64 := func() (uint64, error) {
+		if len(body) < 8 {
+			return 0, fmt.Errorf("core: checkpoint: truncated body")
+		}
+		v := le.Uint64(body[:8])
+		body = body[8:]
+		return v, nil
+	}
+	c := &Checkpoint{}
+	for _, dst := range []*int{&c.Step, &c.Chunk, &c.Examples, &c.Skipped} {
+		v, err := r64()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	for _, dst := range []*float64{&c.FirstLoss, &c.EpochLossSum} {
+		v, err := r64()
+		if err != nil {
+			return nil, err
+		}
+		*dst = math.Float64frombits(v)
+	}
+	n, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	c.EpochLossN = int(n)
+	count, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(body)) < count*8 {
+		return nil, fmt.Errorf("core: checkpoint: truncated epoch losses")
+	}
+	c.EpochLoss = make([]float64, count)
+	for i := range c.EpochLoss {
+		v, _ := r64()
+		c.EpochLoss[i] = math.Float64frombits(v)
+	}
+	blobLen, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(body)) != blobLen {
+		return nil, fmt.Errorf("core: checkpoint: model blob is %d bytes, header says %d", len(body), blobLen)
+	}
+	c.Model = append([]byte(nil), body...)
+	return c, nil
+}
+
+// WriteCheckpoint atomically persists c to path: the bytes are written to a
+// temporary file in the same directory, synced to stable storage, and
+// renamed over the destination, so a crash at any point leaves either the
+// previous checkpoint or the new one — never a torn file.
+func WriteCheckpoint(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(c.encode()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads and verifies a checkpoint written by
+// WriteCheckpoint.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return decodeCheckpoint(data)
+}

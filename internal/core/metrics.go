@@ -18,4 +18,11 @@ var (
 	// end-to-end throughput.
 	mEpochSeconds   = metrics.Default().Histogram("trainer.epoch.seconds", metrics.ExpBuckets(1e-3, 4, 12)...)
 	mExamplesPerSec = metrics.Default().Gauge("trainer.examples_per_sec")
+
+	// Fault-tolerance counters: chunk transfers abandoned by the fault
+	// model (trained on stale data instead), checkpoints persisted, and
+	// runs restored from a checkpoint.
+	mSkippedChunks = metrics.Default().Counter("trainer.chunks_skipped")
+	mCheckpoints   = metrics.Default().Counter("trainer.checkpoints")
+	mResumes       = metrics.Default().Counter("trainer.resumes")
 )

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"time"
@@ -56,6 +57,20 @@ type TrainConfig struct {
 	// paper measured at "about 17% of the total time ... spent on
 	// transferring").
 	Prefetch bool
+	// CheckpointPath, when non-empty, enables crash-consistent periodic
+	// checkpointing: every CheckpointEvery chunks the trainer atomically
+	// persists the model state (parameters + RNG stream) and the run
+	// cursor via WriteCheckpoint. The model must implement Checkpointer.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in chunks; zero defaults
+	// to 1 (after every chunk).
+	CheckpointEvery int
+	// ResumePath, when non-empty, restores a checkpoint written by a
+	// previous run before training starts: the model state is re-uploaded
+	// and the run re-enters the chunk loop at the saved cursor. For models
+	// whose only mutable state is parameters and the RNG stream, the
+	// resumed run is bit-identical to the uninterrupted one.
+	ResumePath string
 }
 
 // Result summarizes a training run.
@@ -83,6 +98,15 @@ type Result struct {
 	// EpochWallSeconds is the real host time per completed epoch, parallel
 	// to EpochLoss (empty in Iterations mode).
 	EpochWallSeconds []float64
+	// SkippedChunks counts chunk transfers abandoned by the device fault
+	// model after exhausting their retry budget; for each, the trainer
+	// trained on the slot's last good contents instead (graceful
+	// degradation) and recorded the skip here.
+	SkippedChunks int
+	// Checkpoints is the number of checkpoints written during the run.
+	Checkpoints int
+	// Resumed reports that the run was restored from TrainConfig.ResumePath.
+	Resumed bool
 	// Device is the device activity snapshot at the end of the run.
 	Device device.Stats
 }
@@ -139,6 +163,20 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 	if cfg.LR == 0 && cfg.Schedule == nil && cfg.Adaptive == nil {
 		return nil, fmt.Errorf("core: zero learning rate")
 	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("core: negative checkpoint cadence %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1
+	}
+	var ckpt Checkpointer
+	if cfg.CheckpointPath != "" || cfg.ResumePath != "" {
+		c, ok := model.(Checkpointer)
+		if !ok {
+			return nil, fmt.Errorf("core: model %T cannot checkpoint (no SaveState/RestoreState)", model)
+		}
+		ckpt = c
+	}
 
 	// Total update steps.
 	stepsPerEpoch := src.Len() / batch
@@ -177,11 +215,35 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 
 	res := &Result{FirstLoss: math.NaN(), FinalLoss: math.NaN()}
 	step := 0
+	startChunk := 0
 	epochLossSum, epochLossN := 0.0, 0
+	if cfg.ResumePath != "" {
+		c, err := ReadCheckpoint(cfg.ResumePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := ckpt.RestoreState(bytes.NewReader(c.Model)); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if c.Step > totalSteps || c.Chunk > totalChunks {
+			return nil, fmt.Errorf("core: resume: checkpoint cursor (step %d, chunk %d) past this run's end (step %d, chunk %d)",
+				c.Step, c.Chunk, totalSteps, totalChunks)
+		}
+		step, startChunk = c.Step, c.Chunk
+		res.Examples = c.Examples
+		res.SkippedChunks = c.Skipped
+		res.FirstLoss = c.FirstLoss
+		res.EpochLoss = append(res.EpochLoss, c.EpochLoss...)
+		epochLossSum, epochLossN = c.EpochLossSum, c.EpochLossN
+		res.Resumed = true
+		if metrics.Enabled() {
+			mResumes.Inc()
+		}
+	}
 	runStart := time.Now()
 	epochStart := runStart
 
-	for chunk := 0; chunk < totalChunks && step < totalSteps; chunk++ {
+	for chunk := startChunk; chunk < totalChunks && step < totalSteps; chunk++ {
 		slot := chunk % cfg.BufferDepth
 		buf := ring[slot]
 
@@ -195,13 +257,25 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 			}
 		}
 		start := (chunk * cfg.ChunkExamples) % src.Len()
+		var copyErr error
 		if t.Dev.Numeric {
 			src.Chunk(start, cfg.ChunkExamples, hostStage[slot])
-			t.Dev.CopyIn(buf, hostStage[slot], earliest)
+			_, copyErr = t.Dev.TryCopyIn(buf, hostStage[slot], earliest)
 		} else {
-			t.Dev.CopyIn(buf, nil, earliest)
+			_, copyErr = t.Dev.TryCopyIn(buf, nil, earliest)
 		}
 		res.Chunks++
+		if copyErr != nil {
+			// Graceful degradation: the transfer engine abandoned this
+			// chunk (permanent fault or retries exhausted). Its failed
+			// attempts and backoffs are already on the simulated clock;
+			// train this chunk's batches on the slot's last good contents
+			// (zeros if the slot was never filled) and record the skip.
+			res.SkippedChunks++
+			if metrics.Enabled() {
+				mSkippedChunks.Inc()
+			}
+		}
 
 		chunkLossSum, chunkLossN := 0.0, 0
 		for b := 0; b < batchesPerChunk && step < totalSteps; b++ {
@@ -246,6 +320,26 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 		// The slot may be reused once the compute engine has consumed
 		// everything issued so far (all batches of this chunk included).
 		slotFree[slot] = t.Dev.ComputeBusyUntil()
+
+		if cfg.CheckpointPath != "" && (chunk+1-startChunk)%cfg.CheckpointEvery == 0 {
+			var blob bytes.Buffer
+			if err := ckpt.SaveState(&blob); err != nil {
+				return nil, fmt.Errorf("core: checkpoint: %w", err)
+			}
+			c := &Checkpoint{
+				Step: step, Chunk: chunk + 1, Examples: res.Examples,
+				Skipped: res.SkippedChunks, FirstLoss: res.FirstLoss,
+				EpochLossSum: epochLossSum, EpochLossN: epochLossN,
+				EpochLoss: res.EpochLoss, Model: blob.Bytes(),
+			}
+			if err := WriteCheckpoint(cfg.CheckpointPath, c); err != nil {
+				return nil, err
+			}
+			res.Checkpoints++
+			if metrics.Enabled() {
+				mCheckpoints.Inc()
+			}
+		}
 	}
 
 	res.Steps = step

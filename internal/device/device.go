@@ -60,6 +60,10 @@ type Device struct {
 
 	// trace records per-activity events when enabled via EnableTrace.
 	trace *traceBuffer
+
+	// faults is the injectable PCIe fault model (nil = transfers never
+	// fail); see EnableFaults.
+	faults *faultState
 }
 
 // New creates a device for the given architecture. numeric selects numeric
@@ -91,7 +95,8 @@ type Buffer struct {
 // time. Views are not separately allocated or freed; they are meant as
 // read-only kernel inputs (the minibatch windows into a data chunk of
 // Algorithm 1). Writing through a view does not update the parent's ready
-// time.
+// time. A view carries the byte span of its own rows, so transferring one
+// out charges the view's size, not the parent's (and never zero).
 func (b *Buffer) Slice(i, j int) *Buffer {
 	if b.parent != nil {
 		panic("device: Slice of a slice")
@@ -99,7 +104,8 @@ func (b *Buffer) Slice(i, j int) *Buffer {
 	if i < 0 || j < i || j > b.Rows {
 		panic(fmt.Sprintf("device: Slice [%d, %d) out of %d rows", i, j, b.Rows))
 	}
-	v := &Buffer{Rows: j - i, Cols: b.Cols, dev: b.dev, parent: b}
+	v := &Buffer{Rows: j - i, Cols: b.Cols, dev: b.dev, parent: b,
+		bytes: int64(j-i) * int64(b.Cols) * 8}
 	if b.Mat != nil {
 		v.Mat = b.Mat.RowsView(i, j)
 	}
@@ -123,12 +129,15 @@ func (b *Buffer) ready() float64 {
 	return b.readyAt
 }
 
-// Bytes returns the device memory footprint of the buffer.
+// Bytes returns the byte span of the buffer's rows: the device memory
+// footprint for allocated buffers, the view's share of the parent for
+// slice views.
 func (b *Buffer) Bytes() int64 { return b.bytes }
 
 // ReadyAt returns the simulated time at which the buffer's current contents
-// became (or become) valid.
-func (b *Buffer) ReadyAt() float64 { return b.readyAt }
+// became (or become) valid. For slice views this is the parent's ready
+// time — a view is valid exactly when the storage it aliases is.
+func (b *Buffer) ReadyAt() float64 { return b.ready() }
 
 // Alloc reserves an r×c float64 buffer in device global memory. It fails
 // when the device's memory capacity (8 GB on the 5110P) would be exceeded —
@@ -173,12 +182,77 @@ func (d *Device) Free(b *Buffer) {
 	b.Mat = nil
 }
 
+// scheduleTransfer books one logical transfer of the given byte count on
+// the transfer engine, running it through the fault model when armed: a
+// transient fault re-attempts the transfer after a capped exponential
+// backoff stalled onto the engine (so flaky-link time shows up in the
+// simulated makespan); a permanent fault or retry exhaustion abandons the
+// transfer and returns a *TransferError. Every attempt — failed ones
+// included — occupies the engine for the full transfer duration.
+func (d *Device) scheduleTransfer(op string, bytes int64, earliest float64) (end float64, err error) {
+	dur := d.Arch.TransferTime(bytes)
+	f := d.faults
+	for attempt := 1; ; attempt++ {
+		start, attemptEnd := d.transfer.Schedule(earliest, dur)
+		end = attemptEnd
+		if metrics.Enabled() {
+			mSimTransfer.Add(dur)
+		}
+		fault, permanent := f.draw()
+		if !fault {
+			d.trace.add(TraceEvent{Name: fmt.Sprintf("%s %d B", op, bytes), Engine: "transfer", Start: start, End: end})
+			return end, nil
+		}
+		d.trace.add(TraceEvent{Name: fmt.Sprintf("%s %d B (fault)", op, bytes), Engine: "transfer", Start: start, End: end})
+		if metrics.Enabled() {
+			mFaults.Inc()
+		}
+		if permanent {
+			f.permanent++
+			f.failed++
+			if metrics.Enabled() {
+				mFailedTransfers.Inc()
+			}
+			return end, &TransferError{Op: op, Bytes: bytes, Attempts: attempt, Permanent: true}
+		}
+		f.transient++
+		if attempt > f.cfg.MaxRetries {
+			f.failed++
+			if metrics.Enabled() {
+				mFailedTransfers.Inc()
+			}
+			return end, &TransferError{Op: op, Bytes: bytes, Attempts: attempt}
+		}
+		backoff := f.cfg.backoff(attempt - 1)
+		d.transfer.Stall(backoff)
+		f.retries++
+		if metrics.Enabled() {
+			mRetries.Inc()
+			mSimBackoff.Add(backoff)
+		}
+		earliest = 0 // the stall already pushed the engine's free time out
+	}
+}
+
 // CopyIn schedules a host→device transfer of host into b on the transfer
 // engine, no earlier than simulated time earliest (0 for "as soon as the
 // link is free" — the prefetching loading thread of Fig. 5). host may be
 // nil in model-only mode. It returns the transfer's completion time, which
-// also becomes the buffer's ready time.
+// also becomes the buffer's ready time. When the fault model abandons the
+// transfer CopyIn panics; callers that degrade gracefully use TryCopyIn.
 func (d *Device) CopyIn(b *Buffer, host *tensor.Matrix, earliest float64) float64 {
+	end, err := d.TryCopyIn(b, host, earliest)
+	if err != nil {
+		panic(err.Error())
+	}
+	return end
+}
+
+// TryCopyIn is CopyIn that reports an abandoned transfer as a
+// *TransferError instead of panicking. On failure the buffer keeps its
+// previous contents and ready time — the simulated time of the failed
+// attempts and backoffs has still been charged to the transfer engine.
+func (d *Device) TryCopyIn(b *Buffer, host *tensor.Matrix, earliest float64) (float64, error) {
 	if b.isFreed() {
 		panic("device: CopyIn into freed buffer")
 	}
@@ -192,6 +266,13 @@ func (d *Device) CopyIn(b *Buffer, host *tensor.Matrix, earliest float64) float6
 		if host.Rows != b.Rows || host.Cols != b.Cols {
 			panic(fmt.Sprintf("device: CopyIn shape mismatch: host %dx%d, buffer %dx%d", host.Rows, host.Cols, b.Rows, b.Cols))
 		}
+	}
+	d.transfers++
+	end, err := d.scheduleTransfer("copy-in", b.bytes, earliest)
+	if err != nil {
+		return end, err
+	}
+	if d.Numeric {
 		if metrics.Enabled() {
 			t0 := time.Now()
 			b.Mat.CopyFrom(host)
@@ -200,25 +281,33 @@ func (d *Device) CopyIn(b *Buffer, host *tensor.Matrix, earliest float64) float6
 			b.Mat.CopyFrom(host)
 		}
 	}
-	dur := d.Arch.TransferTime(b.bytes)
-	start, end := d.transfer.Schedule(earliest, dur)
 	b.readyAt = end
-	d.transfers++
 	d.moved += b.bytes
 	if metrics.Enabled() {
 		mTransfers.Inc()
 		mBytesMoved.Add(b.bytes)
-		mSimTransfer.Add(dur)
 	}
-	d.trace.add(TraceEvent{Name: fmt.Sprintf("copy-in %d B", b.bytes), Engine: "transfer", Start: start, End: end})
-	return end
+	return end, nil
 }
 
 // CopyOut schedules a device→host transfer of b into host (shapes must
 // match; host may be nil in model-only mode) and returns its completion
 // time. The transfer starts only after both the buffer's contents are ready
-// and the compute engine has issued everything that produces them.
+// and the compute engine has issued everything that produces them. Slice
+// views copy out their own rows, charging the view's byte span. When the
+// fault model abandons the transfer CopyOut panics; callers that degrade
+// gracefully use TryCopyOut.
 func (d *Device) CopyOut(b *Buffer, host *tensor.Matrix) float64 {
+	end, err := d.TryCopyOut(b, host)
+	if err != nil {
+		panic(err.Error())
+	}
+	return end
+}
+
+// TryCopyOut is CopyOut that reports an abandoned transfer as a
+// *TransferError instead of panicking. On failure host is left untouched.
+func (d *Device) TryCopyOut(b *Buffer, host *tensor.Matrix) (float64, error) {
 	if b.isFreed() {
 		panic("device: CopyOut of freed buffer")
 	}
@@ -226,6 +315,20 @@ func (d *Device) CopyOut(b *Buffer, host *tensor.Matrix) float64 {
 		if host == nil {
 			panic("device: CopyOut with nil host matrix on a numeric device")
 		}
+		if host.Rows != b.Rows || host.Cols != b.Cols {
+			panic(fmt.Sprintf("device: CopyOut shape mismatch: host %dx%d, buffer %dx%d", host.Rows, host.Cols, b.Rows, b.Cols))
+		}
+	}
+	ready := b.ready()
+	if cb := d.compute.BusyUntil(); cb > ready {
+		ready = cb
+	}
+	d.transfers++
+	end, err := d.scheduleTransfer("copy-out", b.bytes, ready)
+	if err != nil {
+		return end, err
+	}
+	if d.Numeric {
 		if metrics.Enabled() {
 			t0 := time.Now()
 			host.CopyFrom(b.Mat)
@@ -234,21 +337,12 @@ func (d *Device) CopyOut(b *Buffer, host *tensor.Matrix) float64 {
 			host.CopyFrom(b.Mat)
 		}
 	}
-	ready := b.ready()
-	if cb := d.compute.BusyUntil(); cb > ready {
-		ready = cb
-	}
-	dur := d.Arch.TransferTime(b.bytes)
-	start, end := d.transfer.Schedule(ready, dur)
-	d.transfers++
 	d.moved += b.bytes
 	if metrics.Enabled() {
 		mTransfers.Inc()
 		mBytesMoved.Add(b.bytes)
-		mSimTransfer.Add(dur)
 	}
-	d.trace.add(TraceEvent{Name: fmt.Sprintf("copy-out %d B", b.bytes), Engine: "transfer", Start: start, End: end})
-	return end
+	return end, nil
 }
 
 // Exec schedules the kernel described by op on the compute engine, waiting
@@ -380,12 +474,15 @@ func (d *Device) ExecConcurrent(branches []Branch) {
 	groupStart := d.compute.BusyUntil()
 	end := d.compute.ScheduleGroup(ready, durs)
 	if d.trace != nil {
+		// Each branch spans from its own start to the group's join: the
+		// buffers it writes become ready only at the group end, and the
+		// trace must not show a kernel finishing before its outputs exist.
 		for i := range branches {
 			start := groupStart
 			if ready[i] > start {
 				start = ready[i]
 			}
-			d.trace.add(TraceEvent{Name: opName(branches[i].Op) + " (concurrent)", Engine: "compute", Start: start, End: start + durs[i]})
+			d.trace.add(TraceEvent{Name: opName(branches[i].Op) + " (concurrent)", Engine: "compute", Start: start, End: end})
 		}
 	}
 	for i := range branches {
@@ -429,37 +526,56 @@ func (d *Device) TransferBusyUntil() float64 { return d.transfer.BusyUntil() }
 // Stats summarizes device activity since creation or the last ResetTime.
 type Stats struct {
 	Ops           int     // kernel launches
-	Transfers     int     // PCIe transfers
+	Transfers     int     // PCIe transfers issued (including abandoned ones)
 	Flops         float64 // modeled flops executed
-	BytesMoved    int64   // PCIe bytes moved
+	BytesMoved    int64   // PCIe bytes moved by successful transfers
 	ComputeBusy   float64 // seconds the compute engine was busy
 	TransferBusy  float64 // seconds the transfer engine was busy
 	Makespan      float64 // completion time of all work
 	PeakAllocated int64   // high-water device memory
+
+	// Fault-model accounting (all zero when EnableFaults was never called).
+	FaultsTransient int     // transient transfer faults injected
+	FaultsPermanent int     // permanent transfer faults injected
+	Retries         int     // transfer re-attempts after transient faults
+	FailedTransfers int     // transfers abandoned (permanent or retries out)
+	BackoffSeconds  float64 // simulated retry backoff stalled onto the engine
 }
 
 // Stats returns a snapshot of the device's activity counters.
 func (d *Device) Stats() Stats {
-	return Stats{
-		Ops:           d.ops,
-		Transfers:     d.transfers,
-		Flops:         d.flops,
-		BytesMoved:    d.moved,
-		ComputeBusy:   d.compute.BusyTotal(),
-		TransferBusy:  d.transfer.BusyTotal(),
-		Makespan:      d.Now(),
-		PeakAllocated: d.peakAlloc,
+	s := Stats{
+		Ops:            d.ops,
+		Transfers:      d.transfers,
+		Flops:          d.flops,
+		BytesMoved:     d.moved,
+		ComputeBusy:    d.compute.BusyTotal(),
+		TransferBusy:   d.transfer.BusyTotal(),
+		Makespan:       d.Now(),
+		PeakAllocated:  d.peakAlloc,
+		BackoffSeconds: d.transfer.StallTotal(),
 	}
+	if f := d.faults; f != nil {
+		s.FaultsTransient = f.transient
+		s.FaultsPermanent = f.permanent
+		s.Retries = f.retries
+		s.FailedTransfers = f.failed
+	}
+	return s
 }
 
 // ResetTime rewinds both engines and the activity counters to zero while
 // keeping allocations; buffers' ready times are stale afterwards, so only
-// call this between independent runs that rewrite their inputs.
+// call this between independent runs that rewrite their inputs. The fault
+// stream is *not* rewound — successive runs see fresh faults.
 func (d *Device) ResetTime() {
 	d.compute.Reset()
 	d.transfer.Reset()
 	d.ops, d.transfers = 0, 0
 	d.flops, d.moved = 0, 0
+	if f := d.faults; f != nil {
+		f.transient, f.permanent, f.retries, f.failed = 0, 0, 0, 0
+	}
 }
 
 // Allocated returns the current device memory in use.

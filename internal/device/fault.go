@@ -1,0 +1,136 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"phideep/internal/rng"
+)
+
+// FaultConfig parameterizes the injectable PCIe fault model. Faults are
+// drawn per transfer *attempt* from a dedicated seeded generator, so a
+// given (config, transfer sequence) pair always produces the same fault
+// pattern — fault-injected runs are as reproducible as clean ones.
+type FaultConfig struct {
+	// Rate is the per-attempt failure probability in [0, 1).
+	Rate float64
+	// PermanentFrac is the fraction of faults that are permanent (the
+	// transfer fails immediately with no retry, modeling a wedged link or
+	// a poisoned DMA descriptor). The remainder are transient and retried.
+	PermanentFrac float64
+	// Seed seeds the fault stream.
+	Seed uint64
+	// MaxRetries bounds the retries after the first attempt of a transfer
+	// (so a transfer is attempted at most MaxRetries+1 times). Zero
+	// defaults to 4.
+	MaxRetries int
+	// BackoffBase is the simulated backoff before the first retry; each
+	// further retry doubles it up to BackoffCap (capped exponential
+	// backoff). Zeros default to 1 ms and 100 ms.
+	BackoffBase float64
+	// BackoffCap caps the per-retry backoff.
+	BackoffCap float64
+}
+
+// withDefaults validates cfg and fills the documented defaults.
+func (c FaultConfig) withDefaults() (FaultConfig, error) {
+	if c.Rate < 0 || c.Rate >= 1 {
+		return c, fmt.Errorf("device: fault rate %g outside [0, 1)", c.Rate)
+	}
+	if c.PermanentFrac < 0 || c.PermanentFrac > 1 {
+		return c, fmt.Errorf("device: permanent fraction %g outside [0, 1]", c.PermanentFrac)
+	}
+	if c.MaxRetries < 0 || c.BackoffBase < 0 || c.BackoffCap < 0 {
+		return c, fmt.Errorf("device: negative retry/backoff parameter")
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 1e-3
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 100e-3
+	}
+	if c.BackoffCap < c.BackoffBase {
+		c.BackoffCap = c.BackoffBase
+	}
+	return c, nil
+}
+
+// backoff returns the capped exponential delay before retry number
+// retry (0-based).
+func (c FaultConfig) backoff(retry int) float64 {
+	d := c.BackoffBase * math.Pow(2, float64(retry))
+	if d > c.BackoffCap || math.IsInf(d, 1) {
+		d = c.BackoffCap
+	}
+	return d
+}
+
+// faultState is the device-side fault injector: configuration, the
+// deterministic fault stream, and the accumulated counters.
+type faultState struct {
+	cfg FaultConfig
+	rng *rng.RNG
+
+	transient int
+	permanent int
+	retries   int
+	failed    int
+}
+
+// draw decides the fate of one transfer attempt.
+func (f *faultState) draw() (fault, permanent bool) {
+	if f == nil || f.cfg.Rate == 0 {
+		return false, false
+	}
+	if f.rng.Float64() >= f.cfg.Rate {
+		return false, false
+	}
+	return true, f.rng.Float64() < f.cfg.PermanentFrac
+}
+
+// EnableFaults arms the fault model for every subsequent transfer on the
+// device. Enabling resets the fault stream and counters, so two runs armed
+// with the same config see the same faults.
+func (d *Device) EnableFaults(cfg FaultConfig) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	d.faults = &faultState{cfg: cfg, rng: rng.New(cfg.Seed)}
+	return nil
+}
+
+// DisableFaults disarms the fault model; transfers succeed unconditionally
+// again. Accumulated fault counters in Stats are kept.
+func (d *Device) DisableFaults() {
+	if d.faults != nil {
+		d.faults.cfg.Rate = 0
+	}
+}
+
+// TransferError reports a transfer abandoned by the fault model: either a
+// permanent fault, or a transient-fault run that exhausted the retry
+// budget. The simulated time of every failed attempt and backoff has
+// already been charged to the transfer engine when the error is returned.
+type TransferError struct {
+	// Op is "copy-in" or "copy-out".
+	Op string
+	// Bytes is the size of the abandoned transfer.
+	Bytes int64
+	// Attempts is the number of attempts made (1 + retries).
+	Attempts int
+	// Permanent distinguishes a permanent fault from retry exhaustion.
+	Permanent bool
+}
+
+// Error implements error.
+func (e *TransferError) Error() string {
+	cause := "transient faults exhausted retries"
+	if e.Permanent {
+		cause = "permanent fault"
+	}
+	return fmt.Sprintf("device: %s of %d B failed after %d attempt(s): %s", e.Op, e.Bytes, e.Attempts, cause)
+}

@@ -19,4 +19,12 @@ var (
 
 	mWallCompute  = metrics.Default().FloatCounter("device.wall.compute_seconds")
 	mWallTransfer = metrics.Default().FloatCounter("device.wall.transfer_seconds")
+
+	// Fault-model counters: injected faults, retry attempts, transfers
+	// abandoned after exhausting their budget, and the simulated backoff
+	// stalled onto the transfer engine while waiting to retry.
+	mFaults          = metrics.Default().Counter("device.transfer.faults")
+	mRetries         = metrics.Default().Counter("device.transfer.retries")
+	mFailedTransfers = metrics.Default().Counter("device.transfer.failed")
+	mSimBackoff      = metrics.Default().FloatCounter("device.sim.backoff_seconds")
 )

@@ -87,6 +87,31 @@ func TestTraceConcurrentGroup(t *testing.T) {
 	}
 }
 
+func TestTraceConcurrentEventsEndAtGroupJoin(t *testing.T) {
+	// Regression: branch events used to end at start+dur while the buffers
+	// they write become ready only at the group end, so Chrome traces
+	// showed kernels finishing before their outputs existed. Two branches
+	// of very different sizes expose the gap.
+	d := New(sim.XeonPhi5110P(), false, nil)
+	d.EnableTrace(0)
+	big := d.MustAlloc(1000, 1000)
+	small := d.MustAlloc(10, 10)
+	d.ExecConcurrent([]Branch{
+		{Op: sim.Op{Kind: sim.OpGemm, M: 1000, K: 1000, N: 1000, Level: kernels.ParallelBlocked, Vector: true}, Writes: []*Buffer{big}},
+		{Op: sim.Op{Kind: sim.OpElem, Elems: 100, Level: kernels.Parallel}, Writes: []*Buffer{small}},
+	})
+	ev, _ := d.Trace()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for i, e := range ev {
+		if e.End != big.ReadyAt() || e.End != small.ReadyAt() {
+			t.Fatalf("event %d ends at %g before its output is ready (%g / %g)",
+				i, e.End, big.ReadyAt(), small.ReadyAt())
+		}
+	}
+}
+
 func TestWriteChromeTrace(t *testing.T) {
 	d := New(sim.XeonPhi5110P(), false, nil)
 	d.EnableTrace(0)

@@ -9,7 +9,11 @@
 // anything but workload generation and weight initialization.
 package rng
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // RNG is a deterministic xoshiro256** generator. The zero value is invalid;
 // use New. RNG is not safe for concurrent use; give each goroutine its own
@@ -105,6 +109,47 @@ func (r *RNG) Bernoulli(p float64) float64 {
 	}
 	return 0
 }
+
+// marshaledSize is the encoded size of the full generator state: four
+// 64-bit state words, the Box-Muller spare, and the spare-valid flag.
+const marshaledSize = 4*8 + 8 + 1
+
+// MarshalBinary implements encoding.BinaryMarshaler. The encoding captures
+// the complete generator state (including the cached Box-Muller spare), so
+// a restored generator continues the exact same stream — the property
+// checkpoint/resume training relies on.
+func (r *RNG) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, marshaledSize)
+	for i, s := range r.s {
+		binary.LittleEndian.PutUint64(buf[8*i:], s)
+	}
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(r.spare))
+	if r.hasSpare {
+		buf[40] = 1
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring state
+// written by MarshalBinary.
+func (r *RNG) UnmarshalBinary(data []byte) error {
+	if len(data) != marshaledSize {
+		return fmt.Errorf("rng: state is %d bytes, want %d", len(data), marshaledSize)
+	}
+	if data[40] > 1 {
+		return fmt.Errorf("rng: corrupt spare flag %d", data[40])
+	}
+	for i := range r.s {
+		r.s[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	r.spare = math.Float64frombits(binary.LittleEndian.Uint64(data[32:]))
+	r.hasSpare = data[40] == 1
+	return nil
+}
+
+// MarshaledSize returns the fixed byte length of MarshalBinary's encoding,
+// for readers that frame the state inside a larger checkpoint.
+func MarshaledSize() int { return marshaledSize }
 
 // Perm returns a random permutation of [0, n) (Fisher-Yates).
 func (r *RNG) Perm(n int) []int {

@@ -172,3 +172,40 @@ func TestSplitIndependence(t *testing.T) {
 		t.Fatalf("split streams collided %d/100 times", same)
 	}
 }
+
+func TestMarshalRoundTripContinuesStream(t *testing.T) {
+	r := New(42)
+	r.Norm() // leave a cached Box-Muller spare in the state
+	state, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != MarshaledSize() {
+		t.Fatalf("state is %d bytes, want %d", len(state), MarshaledSize())
+	}
+	want := make([]float64, 10)
+	for i := range want {
+		want[i] = r.Norm()
+	}
+	restored := New(0)
+	if err := restored.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := restored.Norm(); got != want[i] {
+			t.Fatalf("restored stream diverged at %d: %g vs %g", i, got, want[i])
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadState(t *testing.T) {
+	r := New(1)
+	if err := r.UnmarshalBinary(make([]byte, 7)); err == nil {
+		t.Fatal("short state accepted")
+	}
+	state, _ := New(2).MarshalBinary()
+	state[40] = 9
+	if err := r.UnmarshalBinary(state); err == nil {
+		t.Fatal("corrupt spare flag accepted")
+	}
+}

@@ -35,10 +35,11 @@ func (c *Clock) Reset() { c.now = 0 }
 // order; each starts no earlier than both its ready time and the engine
 // becoming free.
 type Timeline struct {
-	Name      string
-	busyUntil float64
-	busyTotal float64
-	items     int
+	Name       string
+	busyUntil  float64
+	busyTotal  float64
+	stallTotal float64
+	items      int
 }
 
 // Schedule books a work item of the given duration that becomes ready at
@@ -86,11 +87,28 @@ func (t *Timeline) ScheduleGroup(readyAt, durations []float64) float64 {
 	return groupEnd
 }
 
+// Stall blocks the engine for dt seconds of deliberately injected idle
+// time — the retry backoff after a faulted transfer. The engine's free time
+// moves forward without accumulating busy time, so the next item scheduled
+// starts no earlier than the end of the stall, and the injected wait is
+// accounted separately in StallTotal. This is how backoff delays are
+// charged to the simulated clock rather than silently absorbed.
+func (t *Timeline) Stall(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: Timeline %q: negative stall %g", t.Name, dt))
+	}
+	t.busyUntil += dt
+	t.stallTotal += dt
+}
+
 // BusyUntil returns the time the engine becomes free.
 func (t *Timeline) BusyUntil() float64 { return t.busyUntil }
 
 // BusyTotal returns the accumulated busy time (excludes idle gaps).
 func (t *Timeline) BusyTotal() float64 { return t.busyTotal }
+
+// StallTotal returns the accumulated deliberately injected idle time.
+func (t *Timeline) StallTotal() float64 { return t.stallTotal }
 
 // Items returns the number of scheduled work items.
 func (t *Timeline) Items() int { return t.items }
@@ -99,5 +117,6 @@ func (t *Timeline) Items() int { return t.items }
 func (t *Timeline) Reset() {
 	t.busyUntil = 0
 	t.busyTotal = 0
+	t.stallTotal = 0
 	t.items = 0
 }

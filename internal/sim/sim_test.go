@@ -85,6 +85,32 @@ func TestTimelineScheduleGroup(t *testing.T) {
 	tl.ScheduleGroup([]float64{0}, []float64{1, 2})
 }
 
+func TestTimelineStallAccounting(t *testing.T) {
+	tl := Timeline{Name: "transfer"}
+	tl.Schedule(0, 2)
+	tl.Stall(3) // retry backoff: engine blocked but not busy
+	s, e := tl.Schedule(0, 1)
+	if s != 5 || e != 6 {
+		t.Fatalf("post-stall item [%g, %g), want [5, 6)", s, e)
+	}
+	if tl.StallTotal() != 3 {
+		t.Fatalf("stall total %g", tl.StallTotal())
+	}
+	if tl.BusyTotal() != 3 { // 2 + 1; the stall is not busy time
+		t.Fatalf("busy total %g", tl.BusyTotal())
+	}
+	tl.Reset()
+	if tl.StallTotal() != 0 {
+		t.Fatal("Reset must clear the stall total")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative stall should panic")
+		}
+	}()
+	tl.Stall(-1)
+}
+
 func TestTimelineNegativeDurationPanics(t *testing.T) {
 	tl := Timeline{}
 	defer func() {

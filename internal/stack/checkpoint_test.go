@@ -1,0 +1,115 @@
+package stack
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phideep/internal/core"
+	"phideep/internal/data"
+	"phideep/internal/device"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+// TestStackLayerCheckpointHandoff trains a two-layer stack with a
+// checkpoint base path, then reruns it: both layers must be restored from
+// their .done files with bit-identical parameters and no retraining. A
+// third run with layer 1's .done file deleted retrains only that layer —
+// and, because layer 0's restored encoder reproduces the same encoded
+// source and the layer seed is derived from the layer index, it converges
+// to the same parameters.
+func TestStackLayerCheckpointHandoff(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "stack.ckpt")
+	cfg := Config{Sizes: []int{64, 24, 8}, Lambda: 1e-5, Batch: 10, LR: 0.5}
+	src := data.NewDigits(8, 80, 5, 0.02)
+	run := func() *Result {
+		dev := device.New(sim.XeonPhi5110P(), true, nil)
+		ctx := core.NewContext(dev, core.Improved, 0, 1)
+		tc := trainCfg()
+		tc.CheckpointPath = base
+		res, err := PretrainAutoencoders(ctx, tc, cfg, src, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := run()
+	if first.Layers[0].Restored || first.Layers[1].Restored {
+		t.Fatal("fresh run claims restored layers")
+	}
+	for i := range first.Layers {
+		if _, err := os.Stat(layerDone(base, i)); err != nil {
+			t.Fatalf("layer %d .done file missing: %v", i, err)
+		}
+		if _, err := os.Stat(layerCkptPath(base, i)); err == nil {
+			t.Fatalf("layer %d in-progress checkpoint not cleaned up", i)
+		}
+	}
+
+	second := run()
+	for i, l := range second.Layers {
+		if !l.Restored || !l.Train.Resumed {
+			t.Fatalf("layer %d not restored on rerun", i)
+		}
+		if l.Train.Steps != 0 {
+			t.Fatalf("layer %d retrained %d steps", i, l.Train.Steps)
+		}
+		if tensor.MaxAbsDiff(first.Layers[i].AE.W1, l.AE.W1) != 0 {
+			t.Fatalf("layer %d restored parameters differ", i)
+		}
+	}
+
+	// Partial completion: only layer 1 must retrain, to the same result.
+	if err := os.Remove(layerDone(base, 1)); err != nil {
+		t.Fatal(err)
+	}
+	third := run()
+	if !third.Layers[0].Restored || third.Layers[1].Restored {
+		t.Fatal("wrong layers restored after deleting layer 1's .done file")
+	}
+	if third.Layers[1].Train.Steps == 0 {
+		t.Fatal("layer 1 did not retrain")
+	}
+	if tensor.MaxAbsDiff(first.Layers[1].AE.W1, third.Layers[1].AE.W1) != 0 {
+		t.Fatal("retrained layer 1 diverged from the original")
+	}
+}
+
+// TestStackDBNCheckpointHandoff exercises the same hand-off on the RBM
+// path.
+func TestStackDBNCheckpointHandoff(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "dbn.ckpt")
+	cfg := Config{Sizes: []int{64, 16}, Batch: 10, LR: 0.3}
+	src := data.NewDigits(8, 80, 5, 0.02)
+	run := func() *Result {
+		dev := device.New(sim.XeonPhi5110P(), true, nil)
+		ctx := core.NewContext(dev, core.Improved, 0, 1)
+		tc := trainCfg()
+		tc.CheckpointPath = base
+		res, err := PretrainDBN(ctx, tc, cfg, src, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	second := run()
+	if !second.Layers[0].Restored {
+		t.Fatal("DBN layer not restored on rerun")
+	}
+	if tensor.MaxAbsDiff(first.Layers[0].RBM.W, second.Layers[0].RBM.W) != 0 {
+		t.Fatal("DBN restored parameters differ")
+	}
+}
+
+func layerCkptPath(base string, i int) string {
+	p, _ := layerPaths(base, i)
+	return p
+}
+
+func layerDone(base string, i int) string {
+	_, d := layerPaths(base, i)
+	return d
+}

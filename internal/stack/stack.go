@@ -67,6 +67,11 @@ type LayerResult struct {
 	// model-only devices these are the initializations.
 	AE  *autoencoder.Params
 	RBM *rbm.Params
+	// Restored marks a layer that was not trained in this run: its
+	// parameters were loaded from a previous run's <base>.layerN.done
+	// file (see the layer-wise checkpoint hand-off in checkpoint.go).
+	// Train is then an empty Result with Resumed set.
+	Restored bool
 }
 
 // Result records a full pre-training run.
@@ -79,7 +84,10 @@ type Result struct {
 
 // PretrainAutoencoders greedily trains one Sparse Autoencoder per adjacent
 // size pair on ctx's device and returns the per-layer parameters and the
-// accumulated simulated time. trainCfg applies to every layer.
+// accumulated simulated time. trainCfg applies to every layer; when its
+// CheckpointPath is set it is treated as the base of per-layer checkpoint
+// files (see checkpoint.go) and completed layers of a previous run with
+// the same base are restored instead of retrained.
 func PretrainAutoencoders(ctx *blas.Context, trainCfg core.TrainConfig, cfg Config, src data.Source, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -87,7 +95,6 @@ func PretrainAutoencoders(ctx *blas.Context, trainCfg core.TrainConfig, cfg Conf
 	if src.Dim() != cfg.Sizes[0] {
 		return nil, fmt.Errorf("stack: source dim %d, first layer wants %d", src.Dim(), cfg.Sizes[0])
 	}
-	trainer := &core.Trainer{Dev: ctx.Dev, Cfg: trainCfg}
 	res := &Result{}
 	cur := src
 	for i := 0; i+1 < len(cfg.Sizes); i++ {
@@ -96,10 +103,30 @@ func PretrainAutoencoders(ctx *blas.Context, trainCfg core.TrainConfig, cfg Conf
 			Lambda: cfg.Lambda, Beta: cfg.Beta, Rho: cfg.Rho,
 			Momentum: cfg.Momentum, Corruption: cfg.Corruption, Tied: cfg.Tied,
 		}
+		ckptPath, donePath := layerPaths(trainCfg.CheckpointPath, i)
+		if fileExists(donePath) {
+			params := autoencoder.NewParams(aeCfg, 0)
+			if err := loadParams(donePath, params.Load); err != nil {
+				return nil, fmt.Errorf("stack: layer %d: %w", i, err)
+			}
+			res.Layers = append(res.Layers, LayerResult{
+				Visible: aeCfg.Visible, Hidden: aeCfg.Hidden,
+				Train: &core.Result{Resumed: true}, AE: params, Restored: true,
+			})
+			cur = encodedSource(ctx, cur, aeCfg.Hidden, params.Encode)
+			continue
+		}
 		model, err := autoencoder.New(ctx, aeCfg, cfg.Batch, seed+uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("stack: layer %d: %w", i, err)
 		}
+		layerCfg := trainCfg
+		layerCfg.CheckpointPath = ckptPath
+		layerCfg.ResumePath = ""
+		if fileExists(ckptPath) {
+			layerCfg.ResumePath = ckptPath
+		}
+		trainer := &core.Trainer{Dev: ctx.Dev, Cfg: layerCfg}
 		tr, err := trainer.Run(model, cur)
 		if err != nil {
 			model.Free()
@@ -107,6 +134,9 @@ func PretrainAutoencoders(ctx *blas.Context, trainCfg core.TrainConfig, cfg Conf
 		}
 		params := model.Download()
 		model.Free()
+		if err := finishLayer(ckptPath, donePath, params.Save); err != nil {
+			return nil, fmt.Errorf("stack: layer %d: %w", i, err)
+		}
 		res.Layers = append(res.Layers, LayerResult{
 			Visible: aeCfg.Visible, Hidden: aeCfg.Hidden, Train: tr, AE: params,
 		})
@@ -118,6 +148,8 @@ func PretrainAutoencoders(ctx *blas.Context, trainCfg core.TrainConfig, cfg Conf
 
 // PretrainDBN greedily trains one RBM per adjacent size pair (the Deep
 // Belief Network construction of Hinton et al. that the paper describes).
+// Layer-wise checkpointing via trainCfg.CheckpointPath works exactly as
+// in PretrainAutoencoders.
 func PretrainDBN(ctx *blas.Context, trainCfg core.TrainConfig, cfg Config, src data.Source, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -125,7 +157,6 @@ func PretrainDBN(ctx *blas.Context, trainCfg core.TrainConfig, cfg Config, src d
 	if src.Dim() != cfg.Sizes[0] {
 		return nil, fmt.Errorf("stack: source dim %d, first layer wants %d", src.Dim(), cfg.Sizes[0])
 	}
-	trainer := &core.Trainer{Dev: ctx.Dev, Cfg: trainCfg}
 	res := &Result{}
 	cur := src
 	for i := 0; i+1 < len(cfg.Sizes); i++ {
@@ -134,10 +165,30 @@ func PretrainDBN(ctx *blas.Context, trainCfg core.TrainConfig, cfg Config, src d
 		if rCfg.Momentum == 0 {
 			rCfg.Momentum = cfg.Momentum
 		}
+		ckptPath, donePath := layerPaths(trainCfg.CheckpointPath, i)
+		if fileExists(donePath) {
+			params := rbm.NewParams(rCfg, 0)
+			if err := loadParams(donePath, params.Load); err != nil {
+				return nil, fmt.Errorf("stack: layer %d: %w", i, err)
+			}
+			res.Layers = append(res.Layers, LayerResult{
+				Visible: rCfg.Visible, Hidden: rCfg.Hidden,
+				Train: &core.Result{Resumed: true}, RBM: params, Restored: true,
+			})
+			cur = encodedSource(ctx, cur, rCfg.Hidden, params.Encode)
+			continue
+		}
 		model, err := rbm.New(ctx, rCfg, cfg.Batch, seed+uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("stack: layer %d: %w", i, err)
 		}
+		layerCfg := trainCfg
+		layerCfg.CheckpointPath = ckptPath
+		layerCfg.ResumePath = ""
+		if fileExists(ckptPath) {
+			layerCfg.ResumePath = ckptPath
+		}
+		trainer := &core.Trainer{Dev: ctx.Dev, Cfg: layerCfg}
 		tr, err := trainer.Run(model, cur)
 		if err != nil {
 			model.Free()
@@ -145,6 +196,9 @@ func PretrainDBN(ctx *blas.Context, trainCfg core.TrainConfig, cfg Config, src d
 		}
 		params := model.Download()
 		model.Free()
+		if err := finishLayer(ckptPath, donePath, params.Save); err != nil {
+			return nil, fmt.Errorf("stack: layer %d: %w", i, err)
+		}
 		res.Layers = append(res.Layers, LayerResult{
 			Visible: rCfg.Visible, Hidden: rCfg.Hidden, Train: tr, RBM: params,
 		})

@@ -87,6 +87,14 @@ type (
 	Trainable = core.Trainable
 	// DeviceStats is a snapshot of device activity counters.
 	DeviceStats = device.Stats
+	// FaultConfig parameterizes the device's injectable PCIe fault model
+	// (failure rate, transient/permanent split, retry budget, backoff).
+	FaultConfig = device.FaultConfig
+	// TransferError reports a transfer abandoned by the fault model.
+	TransferError = device.TransferError
+	// Checkpointer is implemented by models that can serialize their
+	// resumable training state (the Autoencoder and RBM both do).
+	Checkpointer = core.Checkpointer
 
 	// Autoencoder is the paper's Sparse Autoencoder resident on a device.
 	Autoencoder = autoencoder.Model
