@@ -25,5 +25,10 @@ go vet ./...
 go build ./...
 go test ./...
 # core and stack carry the fault-injection, checkpoint/resume and chunk
-# prefetch tests, which overlap the loading goroutine with training.
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/...
+# prefetch tests, which overlap the loading goroutine with training; the
+# cluster package rides along for its checkpoint-handoff paths.
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/...
+# Determinism spot-check: the crash/rejoin/resync scenario must produce the
+# identical ledger on back-to-back runs (fault injection is seeded, never
+# wall-clock dependent).
+go test -run TestClusterRecovery -count=2 ./internal/cluster/

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phideep/internal/cluster"
+)
+
+// quickClusterFlags returns a tiny timing-only cluster run.
+func quickClusterFlags() clusterFlags {
+	return clusterFlags{
+		nodes: 3, steps: 10, globalBatch: 12, syncEvery: 2,
+		visible: 12, hidden: 6, nodeArch: "cpu8", net: "gbe",
+		policy: "waitall", lr: 0.5, seed: 1, faultSeed: 1, crashFrac: 0.5,
+	}
+}
+
+func TestRunClusterCleanAndNumeric(t *testing.T) {
+	var out bytes.Buffer
+	if err := runCluster(quickClusterFlags(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "steps=10 syncs=5") {
+		t.Fatalf("summary missing bookkeeping: %s", out.String())
+	}
+	f := quickClusterFlags()
+	f.numeric = true
+	out.Reset()
+	if err := runCluster(f, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loss: first=") {
+		t.Fatalf("numeric summary missing losses: %s", out.String())
+	}
+}
+
+func TestRunClusterFaultyWritesReport(t *testing.T) {
+	f := quickClusterFlags()
+	f.steps = 30
+	f.faultRate = 0.05
+	f.policy = "drop"
+	f.report = filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	if err := runCluster(f, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "faults:") || !strings.Contains(out.String(), "membership:") {
+		t.Fatalf("faulty summary missing degradation lines: %s", out.String())
+	}
+	data, err := os.ReadFile(f.report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep cluster.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Nodes != 3 || rep.Steps != 30 || rep.Policy != "drop" || len(rep.PerNode) != 3 {
+		t.Fatalf("report content off: %+v", rep)
+	}
+}
+
+func TestRunClusterReportToStdout(t *testing.T) {
+	f := quickClusterFlags()
+	f.report = "-"
+	var out bytes.Buffer
+	if err := runCluster(f, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"per_node"`) {
+		t.Fatalf("stdout report missing JSON: %s", out.String())
+	}
+}
+
+func TestClusterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*clusterFlags)
+		want string
+	}{
+		{"fault rate", func(f *clusterFlags) { f.faultRate = 1.5 }, "bad -node-fault-* flags"},
+		{"crash frac", func(f *clusterFlags) { f.faultRate = 0.1; f.crashFrac = 2 }, "permanent fraction"},
+		{"permanent frac", func(f *clusterFlags) { f.faultRate = 0.1; f.permanentFrac = -1 }, "permanent fraction"},
+		{"stall factor", func(f *clusterFlags) { f.faultRate = 0.1; f.stallFactor = 0.5 }, "stall factor"},
+		{"policy", func(f *clusterFlags) { f.policy = "bogus" }, "policy"},
+		{"net", func(f *clusterFlags) { f.net = "infiniband" }, "-net"},
+		{"steps", func(f *clusterFlags) { f.steps = 0 }, "-cluster-steps"},
+		{"arch", func(f *clusterFlags) { f.nodeArch = "phi" }, "-node-arch"},
+		{"nodes", func(f *clusterFlags) { f.nodes = -2 }, "node"},
+		{"batch", func(f *clusterFlags) { f.globalBatch = 7 }, "divide"},
+		{"timeout", func(f *clusterFlags) { f.dropTimeout = -1 }, "timeout"},
+	}
+	for _, c := range cases {
+		f := quickClusterFlags()
+		c.mut(&f)
+		var out bytes.Buffer
+		err := runCluster(f, &out)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}

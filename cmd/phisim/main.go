@@ -1,11 +1,19 @@
 // Command phisim inspects the simulated platforms: peak rates, bandwidths,
 // synchronization costs, transfer times, and modeled kernel times for a
-// given GEMM shape at every optimization level.
+// given GEMM shape at every optimization level. With -nodes it instead
+// simulates an N-node commodity cluster training an autoencoder with
+// parameter averaging over a modeled interconnect, optionally under
+// deterministic fault injection (crashes, stragglers, permanent losses),
+// and reports the degradation ledger.
 //
 // Examples:
 //
 //	phisim                      # describe every platform
 //	phisim -gemm 1000x1024x4096 # model that multiply on every platform
+//	phisim -nodes 8 -visible 1024 -hidden 4096 -cluster-steps 50
+//	phisim -nodes 8 -node-fault-rate 0.01 -policy drop -report -
+//	phisim -nodes 4 -numeric -cluster-steps 200 -node-fault-rate 0.005 \
+//	       -node-fault-permanent 0.25 -report degraded.json
 package main
 
 import (
@@ -21,7 +29,17 @@ import (
 
 func main() {
 	gemm := flag.String("gemm", "", "model a GEMM of shape MxKxN at every level (e.g. 1000x1024x4096)")
+	var cf clusterFlags
+	registerClusterFlags(&cf)
 	flag.Parse()
+
+	if cf.nodes != 0 {
+		if err := runCluster(cf, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "phisim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	archs := []*sim.Arch{
 		sim.XeonPhi5110P(),

@@ -191,6 +191,9 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	if visible == 0 {
 		visible = side * side
 	}
+	if err := validateFaultOpts(opts); err != nil {
+		return err
+	}
 	if opts.metricsPath != "" || opts.stats {
 		metrics.SetEnabled(true)
 	}
@@ -347,6 +350,23 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	default:
 		return fmt.Errorf("unknown model %q", modelKind)
 	}
+}
+
+// validateFaultOpts rejects malformed -fault-* flags at startup, before any
+// machine is built or data generated, with the same range validator the
+// device applies internally (and that phisim's -node-fault-* flags share) —
+// a bad flag fails in milliseconds with a clear message instead of deep
+// inside a long run.
+func validateFaultOpts(opts options) error {
+	cfg := phideep.FaultConfig{
+		Rate:          opts.faultRate,
+		PermanentFrac: opts.faultPermanent,
+		MaxRetries:    opts.faultRetries,
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("bad -fault-* flags: %w", err)
+	}
+	return nil
 }
 
 // enableFaults arms the device's PCIe fault model when -fault-rate is

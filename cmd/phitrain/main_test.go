@@ -13,6 +13,22 @@ func runQuick(t *testing.T, model, dataKind string, sizes string, numeric bool) 
 		0.5, 1e-4, 0.1, 0.05, "improved", "phi", 0, numeric, true, 1, "", options{})
 }
 
+// runQuick2 is runQuick with explicit options, for the flag-validation
+// cases. A bad -fault-* combination must fail before any work is done.
+func runQuick2(t *testing.T, opts options) error {
+	t.Helper()
+	return run("ae", "digits", 8, 0, 8, "", 200, 20, 1, 0,
+		0.5, 1e-4, 0.1, 0.05, "improved", "phi", 0, true, true, 1, "", opts)
+}
+
+func TestValidFaultFlagsStillRun(t *testing.T) {
+	// A legal fault configuration passes validation and the run completes
+	// (the rate is tiny so retries almost surely absorb every fault).
+	if err := runQuick2(t, options{faultRate: 0.001, faultSeed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunAllModelKinds(t *testing.T) {
 	for _, m := range []string{"ae", "rbm"} {
 		if err := runQuick(t, m, "digits", "", true); err != nil {
@@ -49,6 +65,10 @@ func TestRunErrors(t *testing.T) {
 		{"bad sizes", run("stack", "digits", 8, 0, 8, "a,b", 100, 10, 1, 0, 0.5, 0, 0, 0, "improved", "phi", 0, true, true, 1, "", options{}), "bad -sizes"},
 		{"bad level", run("ae", "digits", 8, 0, 8, "", 100, 10, 1, 0, 0.5, 0, 0, 0, "warp", "phi", 0, true, true, 1, "", options{}), "unknown level"},
 		{"bad arch", run("ae", "digits", 8, 0, 8, "", 100, 10, 1, 0, 0.5, 0, 0, 0, "improved", "gpu", 0, true, true, 1, "", options{}), "unknown arch"},
+		{"fault rate high", runQuick2(t, options{faultRate: 1.0}), "bad -fault-* flags"},
+		{"fault rate negative", runQuick2(t, options{faultRate: -0.5}), "fault rate"},
+		{"fault permanent", runQuick2(t, options{faultRate: 0.1, faultPermanent: 1.5}), "permanent fraction"},
+		{"fault retries", runQuick2(t, options{faultRate: 0.1, faultRetries: -3}), "retry"},
 	}
 	for _, c := range cases {
 		if c.err == nil || !strings.Contains(c.err.Error(), c.want) {

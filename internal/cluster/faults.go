@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"fmt"
+
+	"phideep/internal/device"
+)
+
+// FaultKind classifies one injected node fault.
+type FaultKind int
+
+const (
+	// FaultCrash removes the node from the cluster: it stops computing and
+	// heartbeating, is excised from the ring by the failure detector, and
+	// rejoins (unless the crash is permanent) via checkpoint resync.
+	FaultCrash FaultKind = iota
+	// FaultStall makes the node a straggler: its steps take StallFactor×
+	// their normal time for StallSteps steps. Stalls change only the
+	// simulated clock, never the numerics.
+	FaultStall
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultStall:
+		return "stall"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// NodeFault is one scripted fault event: at the top of global step Step
+// (0-based), node Node suffers the given fault. Scripted events fire in
+// addition to the random stream; tests that need "node k crashes at step s"
+// exactly script the event and leave Rate at zero.
+type NodeFault struct {
+	Step int
+	Node int
+	Kind FaultKind
+	// Permanent marks a crash the node never recovers from (a lost
+	// machine, not a reboot).
+	Permanent bool
+	// RejoinAfter overrides the plan's rejoin delay for this crash
+	// (0 = use the plan's).
+	RejoinAfter int
+	// StallFactor and StallSteps override the plan for this stall
+	// (0 = use the plan's).
+	StallFactor float64
+	StallSteps  int
+}
+
+// FaultPlan parameterizes the cluster's per-node fault injection. Every
+// node draws from its own seeded stream (built on the internal/device
+// fault plumbing), so a given (plan, step sequence) pair always produces
+// the same fault pattern, and one node's failures never perturb another
+// node's stream — fault-injected cluster runs are as reproducible as clean
+// ones.
+type FaultPlan struct {
+	// Rate is the per-node per-step fault probability in [0, 1).
+	Rate float64
+	// CrashFrac is the fraction of faults that are crashes; the remainder
+	// are transient stalls. In [0, 1].
+	CrashFrac float64
+	// PermanentFrac is the fraction of crashes that are permanent node
+	// losses (the node never rejoins). In [0, 1].
+	PermanentFrac float64
+	// RejoinAfter is the number of global steps a crashed node stays down
+	// before rejoining. Zero defaults to 8.
+	RejoinAfter int
+	// StallFactor multiplies a straggler's step time. Zero defaults to 4;
+	// values below 1 are rejected (a stall cannot speed a node up).
+	StallFactor float64
+	// StallSteps is how many consecutive steps a stall lasts. Zero
+	// defaults to 1.
+	StallSteps int
+	// Seed seeds the per-node fault streams.
+	Seed uint64
+	// Script injects deterministic events on top of (or, with Rate zero,
+	// instead of) the random stream.
+	Script []NodeFault
+}
+
+// withDefaults validates the plan against nodes cluster members and fills
+// the documented defaults. The probability ranges are enforced by the same
+// validator as the device's PCIe fault model, so phisim's cluster flags and
+// phitrain's transfer-fault flags reject identical mistakes identically.
+func (p FaultPlan) withDefaults(nodes int) (FaultPlan, error) {
+	if err := (device.FaultConfig{Rate: p.Rate, PermanentFrac: p.CrashFrac}).Validate(); err != nil {
+		return p, fmt.Errorf("cluster: fault plan: %w", err)
+	}
+	if p.PermanentFrac < 0 || p.PermanentFrac > 1 {
+		return p, fmt.Errorf("cluster: fault plan: permanent fraction %g outside [0, 1]", p.PermanentFrac)
+	}
+	if p.RejoinAfter < 0 || p.StallSteps < 0 {
+		return p, fmt.Errorf("cluster: fault plan: negative rejoin/stall duration")
+	}
+	if p.StallFactor != 0 && p.StallFactor < 1 {
+		return p, fmt.Errorf("cluster: fault plan: stall factor %g below 1", p.StallFactor)
+	}
+	if p.RejoinAfter == 0 {
+		p.RejoinAfter = 8
+	}
+	if p.StallFactor == 0 {
+		p.StallFactor = 4
+	}
+	if p.StallSteps == 0 {
+		p.StallSteps = 1
+	}
+	for _, ev := range p.Script {
+		if ev.Node < 0 || ev.Node >= nodes {
+			return p, fmt.Errorf("cluster: fault plan: scripted event targets node %d of %d", ev.Node, nodes)
+		}
+		if ev.Step < 0 {
+			return p, fmt.Errorf("cluster: fault plan: scripted event at negative step %d", ev.Step)
+		}
+		if ev.Kind != FaultCrash && ev.Kind != FaultStall {
+			return p, fmt.Errorf("cluster: fault plan: unknown fault kind %d", int(ev.Kind))
+		}
+		if ev.RejoinAfter < 0 || ev.StallSteps < 0 || (ev.StallFactor != 0 && ev.StallFactor < 1) {
+			return p, fmt.Errorf("cluster: fault plan: bad scripted override on node %d step %d", ev.Node, ev.Step)
+		}
+	}
+	return p, nil
+}
+
+// stream builds node id's deterministic fault stream. The device seam's
+// Draw maps onto the cluster's event classes: a "permanent" draw (drawn
+// with probability CrashFrac) is a crash, the rest are stalls.
+func (p FaultPlan) stream(id int) *device.FaultStream {
+	s, err := device.NewFaultStream(device.FaultConfig{
+		Rate:          p.Rate,
+		PermanentFrac: p.CrashFrac,
+		Seed:          p.Seed ^ uint64(id+1)*0x9e3779b97f4a7c15,
+	})
+	if err != nil {
+		// The plan was validated by withDefaults before any stream is built.
+		panic(err)
+	}
+	return s
+}
+
+// scriptIndex groups the scripted events by step for O(1) per-step lookup.
+func (p FaultPlan) scriptIndex() map[int][]NodeFault {
+	if len(p.Script) == 0 {
+		return nil
+	}
+	idx := make(map[int][]NodeFault)
+	for _, ev := range p.Script {
+		idx[ev.Step] = append(idx[ev.Step], ev)
+	}
+	return idx
+}
+
+// injectFaults fires this step's fault events for a live node: scripted
+// events first, then at most one draw from the node's random stream.
+func (c *Cluster) injectFaults(n *node, step int) {
+	for _, ev := range c.scripted[step] {
+		if ev.Node != n.id {
+			continue
+		}
+		c.applyFault(n, ev, step)
+		if n.status != statusLive {
+			return
+		}
+	}
+	fault, isCrash := n.stream.Draw()
+	if !fault {
+		return
+	}
+	if isCrash {
+		c.applyFault(n, NodeFault{Kind: FaultCrash, Permanent: n.stream.Float64() < c.plan.PermanentFrac}, step)
+	} else {
+		c.applyFault(n, NodeFault{Kind: FaultStall}, step)
+	}
+}
+
+// applyFault transitions the node per one fault event at the given step.
+func (c *Cluster) applyFault(n *node, ev NodeFault, step int) {
+	switch ev.Kind {
+	case FaultCrash:
+		now := n.dev().Now()
+		if c.syncedAt > now {
+			now = c.syncedAt
+		}
+		n.downSince = now
+		n.stallLeft = 0
+		n.resync = false
+		n.r.Crashes++
+		c.rep.Crashes++
+		if metricsOn() {
+			mCrashes.Inc()
+		}
+		if ev.Permanent {
+			n.status = statusLeft
+			c.rep.PermanentLosses++
+			return
+		}
+		n.status = statusCrashed
+		after := ev.RejoinAfter
+		if after == 0 {
+			after = c.plan.RejoinAfter
+		}
+		n.rejoinAt = step + after
+	case FaultStall:
+		f := ev.StallFactor
+		if f == 0 {
+			f = c.plan.StallFactor
+		}
+		s := ev.StallSteps
+		if s == 0 {
+			s = c.plan.StallSteps
+		}
+		n.stallFactor = f
+		n.stallLeft = s
+		n.r.Stalls++
+		c.rep.Stalls++
+		if metricsOn() {
+			mStalls.Inc()
+		}
+	}
+}

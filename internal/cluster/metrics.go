@@ -1,0 +1,21 @@
+package cluster
+
+import "phideep/internal/metrics"
+
+// Cluster-level observability handles, aggregated across runs in one
+// process and recorded only while metrics.Enabled() holds (one atomic load
+// when off), mirroring the trainer's and device's counters.
+var (
+	mSyncs       = metrics.Default().Counter("cluster.syncs")
+	mCrashes     = metrics.Default().Counter("cluster.crashes")
+	mStalls      = metrics.Default().Counter("cluster.stalls")
+	mDrops       = metrics.Default().Counter("cluster.drops")
+	mRejoins     = metrics.Default().Counter("cluster.rejoins")
+	mResyncs     = metrics.Default().Counter("cluster.resyncs")
+	mDetections  = metrics.Default().Counter("cluster.detections")
+	mBackupRuns  = metrics.Default().Counter("cluster.backup_runs")
+	mCheckpoints = metrics.Default().Counter("cluster.checkpoints")
+)
+
+// metricsOn mirrors metrics.Enabled for brevity at the call sites.
+func metricsOn() bool { return metrics.Enabled() }

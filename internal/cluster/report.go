@@ -1,0 +1,69 @@
+package cluster
+
+// Report is the degradation ledger of a cluster run: how often the ring
+// synchronized, what faults were injected, how the membership reacted, and
+// where the simulated time went, per node. phisim marshals it as the JSON
+// run report; tests cross-check its counters against the injected fault
+// schedule.
+type Report struct {
+	Nodes  int    `json:"nodes"`
+	Policy string `json:"policy"`
+	Steps  int    `json:"steps"`
+	Syncs  int    `json:"syncs"`
+
+	// Fault-injection outcomes.
+	Crashes         int `json:"crashes"`
+	PermanentLosses int `json:"permanent_losses"`
+	Stalls          int `json:"stalls"`
+	Rejoins         int `json:"rejoins"`
+	Resyncs         int `json:"resyncs"`
+	Detections      int `json:"detections"`
+	Drops           int `json:"drops"`
+	BackupRuns      int `json:"backup_runs"`
+	Checkpoints     int `json:"checkpoints"`
+
+	// LiveNodes is the final membership; SimSeconds the cluster makespan.
+	LiveNodes  int     `json:"live_nodes"`
+	SimSeconds float64 `json:"sim_seconds"`
+
+	PerNode []NodeReport `json:"per_node"`
+}
+
+// NodeReport is one member's share of the ledger.
+type NodeReport struct {
+	ID    int  `json:"id"`
+	Live  bool `json:"live"`
+	Steps int  `json:"steps"`
+
+	Crashes    int `json:"crashes"`
+	Stalls     int `json:"stalls"`
+	Drops      int `json:"drops"`
+	Rejoins    int `json:"rejoins"`
+	Restores   int `json:"restores"` // checkpoint restores on rejoin
+	Resyncs    int `json:"resyncs"`
+	Detections int `json:"detections"`
+
+	SimSeconds   float64 `json:"sim_seconds"`
+	StallSeconds float64 `json:"stall_seconds"` // straggler slowdown charged
+	DownSeconds  float64 `json:"down_seconds"`  // crash downtime + resync waits
+}
+
+// Report snapshots the run's degradation ledger.
+func (c *Cluster) Report() Report {
+	r := c.rep
+	r.Nodes = c.Cfg.Nodes
+	r.Policy = c.Cfg.Policy.String()
+	r.Steps = c.steps
+	r.Syncs = c.syncCount
+	r.SimSeconds = c.SimSeconds()
+	r.LiveNodes = c.liveCount()
+	r.PerNode = make([]NodeReport, len(c.nodes))
+	for i, n := range c.nodes {
+		nr := n.r
+		nr.ID = n.id
+		nr.Live = n.status == statusLive
+		nr.SimSeconds = n.dev().Now()
+		r.PerNode[i] = nr
+	}
+	return r
+}

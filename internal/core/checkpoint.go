@@ -154,6 +154,17 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	return c, nil
 }
 
+// EncodeCheckpoint renders c to its on-disk PHCK byte form (magic, body,
+// CRC-64) without touching the filesystem. It is the in-memory handoff
+// format internal/cluster uses to ship the lead replica's state to a
+// rejoining node: the same framing and checksum as a checkpoint file, so a
+// corrupted handoff is detected exactly like a corrupted file.
+func EncodeCheckpoint(c *Checkpoint) []byte { return c.encode() }
+
+// DecodeCheckpoint parses and verifies bytes produced by EncodeCheckpoint
+// (or read from a checkpoint file).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return decodeCheckpoint(data) }
+
 // WriteCheckpoint atomically persists c to path: the bytes are written to a
 // temporary file in the same directory, synced to stable storage, and
 // renamed over the destination, so a crash at any point leaves either the

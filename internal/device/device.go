@@ -216,14 +216,14 @@ func (d *Device) scheduleTransfer(op string, bytes int64, earliest float64) (end
 			return end, &TransferError{Op: op, Bytes: bytes, Attempts: attempt, Permanent: true}
 		}
 		f.transient++
-		if attempt > f.cfg.MaxRetries {
+		if attempt > f.config().MaxRetries {
 			f.failed++
 			if metrics.Enabled() {
 				mFailedTransfers.Inc()
 			}
 			return end, &TransferError{Op: op, Bytes: bytes, Attempts: attempt}
 		}
-		backoff := f.cfg.backoff(attempt - 1)
+		backoff := f.config().backoff(attempt - 1)
 		d.transfer.Stall(backoff)
 		f.retries++
 		if metrics.Enabled() {
@@ -508,6 +508,16 @@ func (d *Device) ExecConcurrent(branches []Branch) {
 	}
 }
 
+// StallCompute blocks the compute engine for dt seconds of deliberately
+// injected idle time — the cluster layer's straggler slowdowns and crashed-
+// node downtime, the compute-side analogue of the transfer engine's retry
+// backoff. The stall is charged to the simulated clock (the next kernel
+// starts no earlier than the end of the stall) and accounted separately in
+// Stats.ComputeStallSeconds.
+func (d *Device) StallCompute(dt float64) {
+	d.compute.Stall(dt)
+}
+
 // Now returns the simulated time at which all issued work completes.
 func (d *Device) Now() float64 {
 	t := d.compute.BusyUntil()
@@ -540,6 +550,12 @@ type Stats struct {
 	Retries         int     // transfer re-attempts after transient faults
 	FailedTransfers int     // transfers abandoned (permanent or retries out)
 	BackoffSeconds  float64 // simulated retry backoff stalled onto the engine
+
+	// Compute-engine stall accounting (non-zero only when a layer above
+	// injects compute stalls via StallCompute — straggling cluster nodes,
+	// crash downtime).
+	ComputeStalls       int     // injected compute stalls
+	ComputeStallSeconds float64 // simulated seconds the compute engine was stalled
 }
 
 // Stats returns a snapshot of the device's activity counters.
@@ -554,6 +570,9 @@ func (d *Device) Stats() Stats {
 		Makespan:       d.Now(),
 		PeakAllocated:  d.peakAlloc,
 		BackoffSeconds: d.transfer.StallTotal(),
+
+		ComputeStalls:       d.compute.Stalls(),
+		ComputeStallSeconds: d.compute.StallTotal(),
 	}
 	if f := d.faults; f != nil {
 		s.FaultsTransient = f.transient

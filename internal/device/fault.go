@@ -32,16 +32,27 @@ type FaultConfig struct {
 	BackoffCap float64
 }
 
-// withDefaults validates cfg and fills the documented defaults.
-func (c FaultConfig) withDefaults() (FaultConfig, error) {
+// Validate checks the fault parameters without filling defaults, so
+// command-line front ends can reject a bad -fault-rate or -fault-retries at
+// startup with a clear error instead of misbehaving deep inside a run. The
+// same ranges are enforced again by EnableFaults and NewFaultStream.
+func (c FaultConfig) Validate() error {
 	if c.Rate < 0 || c.Rate >= 1 {
-		return c, fmt.Errorf("device: fault rate %g outside [0, 1)", c.Rate)
+		return fmt.Errorf("device: fault rate %g outside [0, 1)", c.Rate)
 	}
 	if c.PermanentFrac < 0 || c.PermanentFrac > 1 {
-		return c, fmt.Errorf("device: permanent fraction %g outside [0, 1]", c.PermanentFrac)
+		return fmt.Errorf("device: permanent fraction %g outside [0, 1]", c.PermanentFrac)
 	}
 	if c.MaxRetries < 0 || c.BackoffBase < 0 || c.BackoffCap < 0 {
-		return c, fmt.Errorf("device: negative retry/backoff parameter")
+		return fmt.Errorf("device: negative retry/backoff parameter")
+	}
+	return nil
+}
+
+// withDefaults validates cfg and fills the documented defaults.
+func (c FaultConfig) withDefaults() (FaultConfig, error) {
+	if err := c.Validate(); err != nil {
+		return c, err
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 4
@@ -68,11 +79,52 @@ func (c FaultConfig) backoff(retry int) float64 {
 	return d
 }
 
-// faultState is the device-side fault injector: configuration, the
-// deterministic fault stream, and the accumulated counters.
-type faultState struct {
+// FaultStream is the exported seam of the fault model: a seeded, validated
+// source of deterministic fault decisions that other layers reuse for their
+// own failure injection (internal/cluster draws per-node crash and
+// straggler events from one stream per node). A given (config, draw
+// sequence) pair always produces the same decisions.
+type FaultStream struct {
 	cfg FaultConfig
 	rng *rng.RNG
+}
+
+// NewFaultStream validates cfg, fills its defaults and returns the armed
+// deterministic stream.
+func NewFaultStream(cfg FaultConfig) (*FaultStream, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &FaultStream{cfg: cfg, rng: rng.New(cfg.Seed)}, nil
+}
+
+// Draw decides the fate of one attempt: whether it faults, and whether the
+// fault is of the permanent class (drawn with probability PermanentFrac).
+// A zero Rate never faults and consumes nothing from the stream.
+func (s *FaultStream) Draw() (fault, permanent bool) {
+	if s == nil || s.cfg.Rate == 0 {
+		return false, false
+	}
+	if s.rng.Float64() >= s.cfg.Rate {
+		return false, false
+	}
+	return true, s.rng.Float64() < s.cfg.PermanentFrac
+}
+
+// Float64 exposes the stream's next uniform variate in [0, 1), for callers
+// that layer further deterministic classifications on top of Draw (e.g.
+// deciding whether a crash fault is a permanent node loss).
+func (s *FaultStream) Float64() float64 { return s.rng.Float64() }
+
+// Config returns the validated configuration the stream was built with
+// (defaults filled).
+func (s *FaultStream) Config() FaultConfig { return s.cfg }
+
+// faultState is the device-side fault injector: the deterministic fault
+// stream and the accumulated counters.
+type faultState struct {
+	stream *FaultStream
 
 	transient int
 	permanent int
@@ -82,24 +134,24 @@ type faultState struct {
 
 // draw decides the fate of one transfer attempt.
 func (f *faultState) draw() (fault, permanent bool) {
-	if f == nil || f.cfg.Rate == 0 {
+	if f == nil {
 		return false, false
 	}
-	if f.rng.Float64() >= f.cfg.Rate {
-		return false, false
-	}
-	return true, f.rng.Float64() < f.cfg.PermanentFrac
+	return f.stream.Draw()
 }
+
+// cfg returns the stream's validated configuration.
+func (f *faultState) config() FaultConfig { return f.stream.cfg }
 
 // EnableFaults arms the fault model for every subsequent transfer on the
 // device. Enabling resets the fault stream and counters, so two runs armed
 // with the same config see the same faults.
 func (d *Device) EnableFaults(cfg FaultConfig) error {
-	cfg, err := cfg.withDefaults()
+	stream, err := NewFaultStream(cfg)
 	if err != nil {
 		return err
 	}
-	d.faults = &faultState{cfg: cfg, rng: rng.New(cfg.Seed)}
+	d.faults = &faultState{stream: stream}
 	return nil
 }
 
@@ -107,7 +159,7 @@ func (d *Device) EnableFaults(cfg FaultConfig) error {
 // again. Accumulated fault counters in Stats are kept.
 func (d *Device) DisableFaults() {
 	if d.faults != nil {
-		d.faults.cfg.Rate = 0
+		d.faults.stream.cfg.Rate = 0
 	}
 }
 

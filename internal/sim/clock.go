@@ -39,6 +39,7 @@ type Timeline struct {
 	busyUntil  float64
 	busyTotal  float64
 	stallTotal float64
+	stalls     int
 	items      int
 }
 
@@ -88,17 +89,20 @@ func (t *Timeline) ScheduleGroup(readyAt, durations []float64) float64 {
 }
 
 // Stall blocks the engine for dt seconds of deliberately injected idle
-// time — the retry backoff after a faulted transfer. The engine's free time
+// time — the retry backoff after a faulted transfer, a straggling cluster
+// node's slowdown, or a crashed node's downtime. The engine's free time
 // moves forward without accumulating busy time, so the next item scheduled
 // starts no earlier than the end of the stall, and the injected wait is
-// accounted separately in StallTotal. This is how backoff delays are
-// charged to the simulated clock rather than silently absorbed.
+// accounted separately in StallTotal/Stalls. This is how backoff delays
+// and straggler time are charged to the simulated clock rather than
+// silently absorbed.
 func (t *Timeline) Stall(dt float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("sim: Timeline %q: negative stall %g", t.Name, dt))
 	}
 	t.busyUntil += dt
 	t.stallTotal += dt
+	t.stalls++
 }
 
 // BusyUntil returns the time the engine becomes free.
@@ -110,6 +114,9 @@ func (t *Timeline) BusyTotal() float64 { return t.busyTotal }
 // StallTotal returns the accumulated deliberately injected idle time.
 func (t *Timeline) StallTotal() float64 { return t.stallTotal }
 
+// Stalls returns the number of injected stalls (Stall calls).
+func (t *Timeline) Stalls() int { return t.stalls }
+
 // Items returns the number of scheduled work items.
 func (t *Timeline) Items() int { return t.items }
 
@@ -118,5 +125,6 @@ func (t *Timeline) Reset() {
 	t.busyUntil = 0
 	t.busyTotal = 0
 	t.stallTotal = 0
+	t.stalls = 0
 	t.items = 0
 }

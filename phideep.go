@@ -155,6 +155,15 @@ type (
 	// ClusterConfig parameterizes it; Interconnect models the network.
 	ClusterConfig = cluster.Config
 	Interconnect  = cluster.Interconnect
+	// ClusterFaultPlan injects deterministic per-node crashes, straggler
+	// stalls and rejoin events into a cluster run; ClusterNodeFault
+	// scripts one such event exactly.
+	ClusterFaultPlan = cluster.FaultPlan
+	ClusterNodeFault = cluster.NodeFault
+	// ClusterPolicy selects the straggler mitigation at sync barriers;
+	// ClusterReport is the degradation ledger of a finished run.
+	ClusterPolicy = cluster.Policy
+	ClusterReport = cluster.Report
 
 	// TuneCandidate is one execution configuration for the auto-tuner;
 	// TuneResult its ranked outcome; TuneAEWorkload a tunable workload.
@@ -186,6 +195,17 @@ const (
 	OpenMPMKL = core.OpenMPMKL
 	// Improved adds loop fusion and Fig. 6 dependency-graph scheduling.
 	Improved = core.Improved
+)
+
+// Cluster straggler policies (ClusterConfig.Policy).
+const (
+	// WaitAll waits for every participant each round (the synchronous
+	// baseline; numerics never change).
+	WaitAll = cluster.WaitAll
+	// TimeoutDrop drops laggards that miss the round deadline.
+	TimeoutDrop = cluster.TimeoutDrop
+	// BackupNode races a hot spare against each laggard.
+	BackupNode = cluster.BackupNode
 )
 
 // Platform constructors.
