@@ -368,7 +368,7 @@ func BenchmarkSchedulingStaticVsDynamic(b *testing.B) {
 // step (64→25, batch 32) end to end on the simulated Phi, through the
 // public API.
 func BenchmarkNumericTrainingStep(b *testing.B) {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	b.Cleanup(mach.Close)
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 1)
 	m, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{

@@ -21,14 +21,20 @@ if [ -n "$undocumented" ]; then
     exit 1
 fi
 
+# vet covers the deprecated facade wrappers (NewMachineAt, NewAutoencoder,
+# ...) too: they must stay warning-free until their removal.
 go vet ./...
 go build ./...
 go test ./...
 # core and stack carry the fault-injection, checkpoint/resume and chunk
 # prefetch tests, which overlap the loading goroutine with training; the
-# cluster package rides along for its checkpoint-handoff paths.
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/...
+# cluster package rides along for its checkpoint-handoff paths; serve is
+# the micro-batcher + worker pool (the ISSUE's race-detector target).
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/...
 # Determinism spot-check: the crash/rejoin/resync scenario must produce the
 # identical ledger on back-to-back runs (fault injection is seeded, never
 # wall-clock dependent).
 go test -run TestClusterRecovery -count=2 ./internal/cluster/
+# Serving smoke: the closed-loop load generator must sustain concurrent
+# clients against the in-process server and print a latency report.
+go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 -duration 2s

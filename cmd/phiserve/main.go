@@ -1,0 +1,314 @@
+// Command phiserve serves a trained phideep model over HTTP, coalescing
+// concurrent single-example requests into micro-batches on a pool of
+// device-bound workers (see internal/serve and DESIGN.md §10).
+//
+// Serve a checkpoint written by phitrain -export:
+//
+//	phitrain -model ae -side 16 -hidden 64 -epochs 3 -export model.phck
+//	phiserve -model ae -visible 256 -hidden 64 -checkpoint model.phck -addr localhost:8080
+//
+//	curl -s localhost:8080/encode -d '{"input":[0.1, ...]}'   # 256 values
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /encode, /reconstruct (autoencoder, RBM) and /predict
+// (MLP) take {"input":[...]} and answer {"output":[...]}; GET /metrics
+// returns the batcher stats plus the metrics registry snapshot; GET
+// /healthz reports the served model.
+//
+// Overload responses follow the admission policy (-policy): block applies
+// backpressure, shed answers 429, degrade falls back to the scalar host
+// path inline.
+//
+// The built-in closed-loop load generator drives the same Server in
+// process and prints a throughput/latency report instead of listening:
+//
+//	phiserve -model ae -visible 256 -hidden 64 -loadgen -clients 16 -duration 5s
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"phideep"
+	"phideep/internal/metrics"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "ae", "ae | rbm | mlp")
+		ckpt     = flag.String("checkpoint", "", "PHCK checkpoint to serve (phitrain -export / -checkpoint); fresh seeded weights if empty")
+		visible  = flag.Int("visible", 256, "input units (ae/rbm)")
+		hidden   = flag.Int("hidden", 64, "hidden units (ae/rbm)")
+		sizes    = flag.String("sizes", "", "comma-separated MLP layer sizes, input first (e.g. 256,64,10)")
+		tied     = flag.Bool("tied", false, "decoder weights tied to the encoder (ae; must match training)")
+		gaussian = flag.Bool("gaussian", false, "Gaussian visible units (rbm; must match training)")
+
+		level    = flag.String("level", "improved", "baseline | openmp | mkl | improved")
+		arch     = flag.String("arch", "phi", "phi | cpu1 | cpu4 | cpu8 | matlab")
+		cores    = flag.Int("cores", 0, "physical core limit per worker device (0 = all)")
+		workers  = flag.Int("workers", 2, "device-bound serving workers")
+		pool     = flag.Int("pool-workers", 0, "Go pool size behind each device's parallel kernels (0 = run inline)")
+		maxBatch = flag.Int("max-batch", 16, "micro-batch coalescing limit")
+		maxWait  = flag.Duration("max-wait", time.Millisecond, "micro-batch flush deadline")
+		queue    = flag.Int("queue-depth", 0, "admission bound on queued requests (0 = 4x max-batch)")
+		policy   = flag.String("policy", "block", "full-queue policy: block | shed | degrade")
+		seed     = flag.Uint64("seed", 1, "worker RNG seed (and fresh-weights seed without -checkpoint)")
+		collect  = flag.Bool("collect", true, "enable the internal metrics registry (feeds /metrics)")
+
+		addr     = flag.String("addr", "localhost:8080", "HTTP listen address")
+		loadgen  = flag.Bool("loadgen", false, "run the built-in closed-loop load generator and exit (no HTTP)")
+		clients  = flag.Int("clients", 8, "loadgen: concurrent closed-loop clients")
+		duration = flag.Duration("duration", 5*time.Second, "loadgen: run length")
+		op       = flag.String("op", "", "loadgen: operation (encode | reconstruct | predict; default: first the model supports)")
+	)
+	flag.Parse()
+
+	metrics.SetEnabled(*collect)
+	if err := run(*model, *ckpt, *visible, *hidden, *sizes, *tied, *gaussian,
+		*level, *arch, *cores, *workers, *pool, *maxBatch, *maxWait, *queue, *policy, *seed,
+		*addr, *loadgen, *clients, *duration, *op); err != nil {
+		fmt.Fprintln(os.Stderr, "phiserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool,
+	levelName, archName string, cores, workers, pool, maxBatch int, maxWait time.Duration,
+	queue int, policyName string, seed uint64,
+	addr string, loadgen bool, clients int, duration time.Duration, opName string) error {
+
+	m, err := buildModel(modelKind, ckpt, visible, hidden, sizesFlag, tied, gaussian, seed)
+	if err != nil {
+		return err
+	}
+	lvl, err := pickLevel(levelName)
+	if err != nil {
+		return err
+	}
+	archDesc, err := pickArch(archName)
+	if err != nil {
+		return err
+	}
+	pol, err := pickPolicy(policyName)
+	if err != nil {
+		return err
+	}
+	srv, err := phideep.NewServer(m, phideep.ServeConfig{
+		Arch: archDesc, Level: lvl, Cores: cores,
+		Workers: workers, PoolWorkers: pool,
+		MaxBatch: maxBatch, MaxWait: maxWait,
+		QueueDepth: queue, Policy: pol, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	if loadgen {
+		return runLoadgen(os.Stdout, srv, opName, clients, duration, maxWait, policyName, seed)
+	}
+
+	fmt.Printf("phiserve: %s model (%d inputs) on %s [%s], %d workers, batch<=%d wait<=%v policy=%s\n",
+		m.Kind(), m.InputDim(), archDesc.Name, lvl, workers, maxBatch, maxWait, pol)
+	fmt.Printf("phiserve: listening on http://%s\n", addr)
+	return http.ListenAndServe(addr, newMux(srv, time.Now()))
+}
+
+// buildModel snapshots the parameters to serve: loaded from a PHCK
+// checkpoint when -checkpoint is set, else freshly seeded (useful for
+// latency experiments, where the weights' values are irrelevant).
+func buildModel(kind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool, seed uint64) (*phideep.ServeModel, error) {
+	switch kind {
+	case "ae":
+		cfg := phideep.AutoencoderConfig{Visible: visible, Hidden: hidden, Tied: tied, Seed: seed}
+		if ckpt != "" {
+			return phideep.ServeAutoencoderCheckpoint(cfg, ckpt)
+		}
+		return phideep.ServeAutoencoder(cfg, nil), nil
+	case "rbm":
+		cfg := phideep.RBMConfig{Visible: visible, Hidden: hidden, GaussianVisible: gaussian, Seed: seed}
+		if ckpt != "" {
+			return phideep.ServeRBMCheckpoint(cfg, ckpt)
+		}
+		return phideep.ServeRBM(cfg, nil), nil
+	case "mlp":
+		layers, err := parseSizes(sizesFlag)
+		if err != nil {
+			return nil, err
+		}
+		cfg := phideep.MLPConfig{Sizes: layers, Seed: seed}
+		if ckpt != "" {
+			return phideep.ServeMLPCheckpoint(cfg, ckpt)
+		}
+		return phideep.ServeMLP(cfg, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want ae, rbm or mlp)", kind)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, errors.New("mlp requires -sizes (e.g. -sizes 256,64,10)")
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sizes entry %q: %w", p, err)
+		}
+		sizes[i] = n
+	}
+	return sizes, nil
+}
+
+func pickLevel(name string) (phideep.OptLevel, error) {
+	switch name {
+	case "baseline":
+		return phideep.Baseline, nil
+	case "openmp":
+		return phideep.OpenMP, nil
+	case "mkl":
+		return phideep.OpenMPMKL, nil
+	case "improved":
+		return phideep.Improved, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q", name)
+	}
+}
+
+func pickArch(name string) (*phideep.Arch, error) {
+	switch name {
+	case "phi":
+		return phideep.XeonPhi5110P(), nil
+	case "cpu1":
+		return phideep.XeonE5620Core(), nil
+	case "cpu4":
+		return phideep.XeonE5620Full(), nil
+	case "cpu8":
+		return phideep.XeonE5620Dual(), nil
+	case "matlab":
+		return phideep.MatlabR2012a(), nil
+	default:
+		return nil, fmt.Errorf("unknown arch %q", name)
+	}
+}
+
+func pickPolicy(name string) (phideep.ServePolicy, error) {
+	switch name {
+	case "block":
+		return phideep.ServeBlock, nil
+	case "shed":
+		return phideep.ServeShed, nil
+	case "degrade":
+		return phideep.ServeDegrade, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want block, shed or degrade)", name)
+	}
+}
+
+// newMux wires the serving endpoints. Split from run so the httptest suite
+// can drive the exact production handler chain.
+func newMux(srv *phideep.Server, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/encode", inferHandler(srv.Encode, false))
+	mux.HandleFunc("/reconstruct", inferHandler(srv.Reconstruct, false))
+	mux.HandleFunc("/predict", inferHandler(srv.Predict, true))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"batcher":  srv.Stats(),
+			"registry": metrics.Default().Snapshot(),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m := srv.Model()
+		ops := make([]string, 0, 2)
+		for _, op := range m.Ops() {
+			ops = append(ops, op.String())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"model":          m.Kind(),
+			"input_dim":      m.InputDim(),
+			"ops":            ops,
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
+	})
+	return mux
+}
+
+type inferRequest struct {
+	Input []float64 `json:"input"`
+}
+
+type inferResponse struct {
+	Output []float64 `json:"output"`
+	// Class is the argmax of Output, reported by /predict only.
+	Class *int `json:"class,omitempty"`
+}
+
+// inferHandler adapts one Server method to the POST {"input":[...]} →
+// {"output":[...]} JSON protocol. Admission failures map to HTTP status:
+// shed → 429 Too Many Requests, closed → 503 Service Unavailable, bad
+// input → 400.
+func inferHandler(call func([]float64) ([]float64, error), classify bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+			return
+		}
+		var req inferRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+		out, err := call(req.Input)
+		if err != nil {
+			writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+			return
+		}
+		resp := inferResponse{Output: out}
+		if classify {
+			c := argmax(out)
+			resp.Class = &c
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, phideep.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, phideep.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

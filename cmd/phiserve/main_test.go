@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"phideep"
+	"phideep/internal/autoencoder"
+	"phideep/internal/mlp"
+)
+
+// newAEServer builds a small autoencoder server at Baseline (whose device
+// path is bit-identical to the host reference) plus the host params for
+// comparison, and returns an httptest server over the production mux.
+func newAEServer(t *testing.T) (*httptest.Server, *autoencoder.Params) {
+	t.Helper()
+	cfg := phideep.AutoencoderConfig{Visible: 12, Hidden: 5, Seed: 7}
+	p := autoencoder.NewParams(cfg, cfg.Seed)
+	srv, err := phideep.NewServer(phideep.ServeAutoencoder(cfg, p), phideep.ServeConfig{
+		Level: phideep.Baseline, MaxBatch: 4, MaxWait: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(newMux(srv, time.Now()))
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func postInfer(t *testing.T, url string, input []float64) (*http.Response, inferResponse) {
+	t.Helper()
+	body, err := json.Marshal(inferRequest{Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out inferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestEncodeEndpoint(t *testing.T) {
+	ts, p := newAEServer(t)
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.1 * float64(i)
+	}
+	resp, got := postInfer(t, ts.URL+"/encode", x)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := make([]float64, 5)
+	p.Encode(x, want)
+	if len(got.Output) != len(want) {
+		t.Fatalf("output length %d, want %d", len(got.Output), len(want))
+	}
+	for i := range want {
+		if got.Output[i] != want[i] {
+			t.Fatalf("output[%d] = %v, want %v (bitwise at Baseline)", i, got.Output[i], want[i])
+		}
+	}
+	if got.Class != nil {
+		t.Fatalf("encode response has class %d; classes belong to /predict", *got.Class)
+	}
+}
+
+func TestReconstructEndpoint(t *testing.T) {
+	ts, p := newAEServer(t)
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = float64(i%3) * 0.25
+	}
+	resp, got := postInfer(t, ts.URL+"/reconstruct", x)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := make([]float64, 12)
+	p.Reconstruct(x, want, false)
+	for i := range want {
+		if got.Output[i] != want[i] {
+			t.Fatalf("output[%d] = %v, want %v", i, got.Output[i], want[i])
+		}
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	cfg := phideep.MLPConfig{Sizes: []int{8, 6, 4}, Seed: 3}
+	p := mlp.NewParams(cfg, cfg.Seed)
+	srv, err := phideep.NewServer(phideep.ServeMLP(cfg, p), phideep.ServeConfig{
+		Level: phideep.Baseline, MaxBatch: 4, MaxWait: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(newMux(srv, time.Now()))
+	defer ts.Close()
+
+	x := []float64{0.9, 0.1, 0.4, 0.2, 0.8, 0.3, 0.6, 0.5}
+	resp, got := postInfer(t, ts.URL+"/predict", x)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := p.PredictProbs(cfg, x)
+	for i := range want {
+		if got.Output[i] != want[i] {
+			t.Fatalf("probs[%d] = %v, want %v", i, got.Output[i], want[i])
+		}
+	}
+	var sum float64
+	for _, v := range got.Output {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if got.Class == nil || *got.Class != argmax(want) {
+		t.Fatalf("class = %v, want %d", got.Class, argmax(want))
+	}
+
+	// The MLP server must reject autoencoder operations.
+	resp, _ = postInfer(t, ts.URL+"/encode", x)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("encode on mlp: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestEndpointErrors(t *testing.T) {
+	ts, _ := newAEServer(t)
+
+	// Unsupported op for the model.
+	resp, _ := postInfer(t, ts.URL+"/predict", make([]float64, 12))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("predict on ae: status %d, want 400", resp.StatusCode)
+	}
+	// Wrong input dimension.
+	resp, _ = postInfer(t, ts.URL+"/encode", make([]float64, 3))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short input: status %d, want 400", resp.StatusCode)
+	}
+	// Malformed body.
+	r, err := http.Post(ts.URL+"/encode", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", r.StatusCode)
+	}
+	// Wrong method.
+	r, err = http.Get(ts.URL + "/encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", r.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newAEServer(t)
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	var h struct {
+		Status   string   `json:"status"`
+		Model    string   `json:"model"`
+		InputDim int      `json:"input_dim"`
+		Ops      []string `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Model != "autoencoder" || h.InputDim != 12 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops = %v, want encode+reconstruct", h.Ops)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newAEServer(t)
+	// Generate one served request so the batcher counters are non-zero.
+	resp, _ := postInfer(t, ts.URL+"/encode", make([]float64, 12))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	var m struct {
+		Batcher phideep.BatcherStats `json:"batcher"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Batcher.Requests < 1 || m.Batcher.Completed < 1 {
+		t.Fatalf("batcher stats = %+v, want at least one completed request", m.Batcher)
+	}
+}
+
+func TestStatusFor(t *testing.T) {
+	if got := statusFor(phideep.ErrOverloaded); got != http.StatusTooManyRequests {
+		t.Fatalf("overloaded -> %d, want 429", got)
+	}
+	if got := statusFor(phideep.ErrServerClosed); got != http.StatusServiceUnavailable {
+		t.Fatalf("closed -> %d, want 503", got)
+	}
+}
+
+func TestHealthzAfterCheckpointExport(t *testing.T) {
+	// Round-trip the phitrain -export container: write params through the
+	// serve loader path and confirm the served model answers.
+	cfg := phideep.AutoencoderConfig{Visible: 6, Hidden: 3, Seed: 11}
+	p := autoencoder.NewParams(cfg, cfg.Seed)
+	var blob bytes.Buffer
+	if err := p.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.phck"
+	if err := phideep.WriteCheckpoint(path, &phideep.Checkpoint{Step: 42, Model: blob.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := phideep.ServeAutoencoderCheckpoint(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := phideep.NewServer(m, phideep.ServeConfig{Level: phideep.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(newMux(srv, time.Now()))
+	defer ts.Close()
+
+	x := []float64{0.2, 0.4, 0.6, 0.8, 1, 0}
+	resp, got := postInfer(t, ts.URL+"/encode", x)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := make([]float64, 3)
+	p.Encode(x, want)
+	for i := range want {
+		if got.Output[i] != want[i] {
+			t.Fatalf("output[%d] = %v, want %v", i, got.Output[i], want[i])
+		}
+	}
+}

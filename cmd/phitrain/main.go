@@ -26,6 +26,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net/http"
@@ -74,6 +75,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "periodically write crash-consistent training checkpoints to this file (for stack/dbn: the base of per-layer files)")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint cadence in chunks")
 		resume     = flag.String("resume", "", "resume training from this checkpoint file (starts fresh if the file does not exist)")
+		export     = flag.String("export", "", "write the final trained model as a PHCK checkpoint to this file (ae/rbm; works without -checkpoint; phiserve loads it)")
 
 		faultRate    = flag.Float64("fault-rate", 0, "per-attempt PCIe transfer fault probability [0,1) — 0 disables the fault model")
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed of the deterministic fault stream")
@@ -91,7 +93,7 @@ func main() {
 	opts := options{momentum: *momentum, corruption: *corrupt, tied: *tied,
 		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive,
 		metricsPath: *metricsTo, stats: *stats,
-		checkpoint: *checkpoint, checkpointEvery: *ckptEvery, resume: *resume,
+		checkpoint: *checkpoint, checkpointEvery: *ckptEvery, resume: *resume, export: *export,
 		faultRate: *faultRate, faultSeed: *faultSeed,
 		faultPermanent: *faultPerm, faultRetries: *faultRetries}
 	if err := run(*modelKind, *dataKind, *side, *visible, *hidden, *sizes, *examples, *batch,
@@ -177,6 +179,7 @@ type options struct {
 	checkpoint      string // -checkpoint: crash-consistent snapshot file (stack: base path)
 	checkpointEvery int    // -checkpoint-every: cadence in chunks
 	resume          string // -resume: checkpoint to restart from (lenient if missing)
+	export          string // -export: final-model PHCK file, written after training succeeds
 
 	faultRate      float64 // -fault-rate: per-attempt transfer fault probability
 	faultSeed      uint64  // -fault-seed: fault-stream seed
@@ -205,7 +208,11 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	if err != nil {
 		return err
 	}
-	mach := phideep.NewMachine(archDesc, numeric, 0)
+	var machOpts []phideep.MachineOption
+	if numeric {
+		machOpts = append(machOpts, phideep.WithNumeric())
+	}
+	mach := phideep.NewMachine(archDesc, machOpts...)
 	defer mach.Close()
 	if traceFile != "" {
 		mach.Dev.EnableTrace(1 << 20)
@@ -290,6 +297,12 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		}
 		fmt.Printf("%s %dx%d on %s [%s]\n", modelKind, visible, hidden, archDesc.Name, lvl)
 		printResult(res, numeric)
+		if opts.export != "" {
+			if err := exportModel(opts.export, model, res); err != nil {
+				return err
+			}
+			fmt.Printf("  exported final model: %s\n", opts.export)
+		}
 		if opts.metricsPath != "" {
 			rep := &runReport{Model: modelKind, Data: dataKind, Arch: archName, Level: levelName, Numeric: numeric}
 			rep.fillResult(res)
@@ -303,6 +316,9 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		return nil
 
 	case "stack", "dbn":
+		if opts.export != "" {
+			return fmt.Errorf("-export supports single-layer models (ae/rbm); use -checkpoint for per-layer %s snapshots", modelKind)
+		}
 		layerSizes, err := parseSizes(sizesFlag, visible, hidden)
 		if err != nil {
 			return err
@@ -350,6 +366,32 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	default:
 		return fmt.Errorf("unknown model %q", modelKind)
 	}
+}
+
+// exportModel writes the trained model as a final PHCK checkpoint — the
+// same container the periodic -checkpoint snapshots use, so phiserve (and
+// -resume) can load it — without requiring checkpointing during the run.
+func exportModel(path string, model phideep.Trainable, res *phideep.TrainResult) error {
+	ck, ok := model.(phideep.Checkpointer)
+	if !ok {
+		return fmt.Errorf("-export: %T cannot serialize its state", model)
+	}
+	var blob bytes.Buffer
+	if err := ck.SaveState(&blob); err != nil {
+		return fmt.Errorf("-export: %w", err)
+	}
+	c := &phideep.Checkpoint{
+		Step:      res.Steps,
+		Chunk:     res.Chunks,
+		Examples:  res.Examples,
+		Skipped:   res.SkippedChunks,
+		FirstLoss: res.FirstLoss,
+		Model:     blob.Bytes(),
+	}
+	if err := phideep.WriteCheckpoint(path, c); err != nil {
+		return fmt.Errorf("-export: %w", err)
+	}
+	return nil
 }
 
 // validateFaultOpts rejects malformed -fault-* flags at startup, before any

@@ -10,7 +10,7 @@ import (
 // fully-optimized simulated Xeon Phi and reports whether the reconstruction
 // error fell — the minimal end-to-end use of the library.
 func Example() {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 1)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric(), phideep.WithWorkers(1))
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 42)
 
@@ -41,7 +41,7 @@ func Example() {
 // floats are never computed, only the simulated clock runs.
 func ExampleOptLevel() {
 	timeAt := func(lvl phideep.OptLevel) float64 {
-		mach := phideep.NewMachine(phideep.XeonPhi5110P(), false, 0)
+		mach := phideep.NewMachine(phideep.XeonPhi5110P())
 		ctx := phideep.NewContext(mach.Dev, lvl, 0, 1)
 		ae, _ := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
 			Visible: 1024, Hidden: 4096,

@@ -34,7 +34,7 @@ func (b binaryDigits) Chunk(start, n int, dst *phideep.Matrix) {
 }
 
 func main() {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 21)
 

@@ -21,7 +21,7 @@ const (
 )
 
 func main() {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 9)
 

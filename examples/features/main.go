@@ -36,7 +36,7 @@ func main() {
 	patches := phideep.NewNaturalPatches(patchSide, examples, 31)
 
 	// --- Method 1: the paper's minibatch SGD on the simulated Phi.
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 17)
 	ae, err := phideep.NewAutoencoder(ctx, cfg, batch, 3)

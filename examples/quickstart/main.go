@@ -15,7 +15,7 @@ import (
 
 func main() {
 	// A numeric machine really computes; the Phi clock is simulated.
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 
 	// Fully-optimized execution (MKL-grade kernels + fusion + Fig. 6
@@ -63,7 +63,7 @@ func main() {
 	fmt.Println("Paper-scale workload 1024 -> 4096, batch 1000, 100k examples (timing-only):")
 	var times [2]float64
 	for i, lvl := range []phideep.OptLevel{phideep.Improved, phideep.Baseline} {
-		m2 := phideep.NewMachine(phideep.XeonPhi5110P(), false, 0)
+		m2 := phideep.NewMachine(phideep.XeonPhi5110P())
 		ctx2 := phideep.NewContext(m2.Dev, lvl, 0, 42)
 		big, err := phideep.NewAutoencoder(ctx2, phideep.AutoencoderConfig{
 			Visible: 1024, Hidden: 4096, Lambda: 1e-4, Beta: 0.1, Rho: 0.05,

@@ -225,6 +225,27 @@ func (p *Params) Encode(x, y []float64) {
 	}
 }
 
+// Reconstruct maps one example x (length Visible) through the full network
+// to its reconstruction z (length Visible): z = σ(σ(x·W1+b1)·W2 + b2),
+// honoring tied weights. It is the scalar host reference the serving layer
+// degrades to under overload and verifies the device path against. tied
+// selects the weight-tying variant (Config.Tied).
+func (p *Params) Reconstruct(x, z []float64, tied bool) {
+	y := make([]float64, p.W1.Cols)
+	p.Encode(x, y)
+	for j := range z {
+		s := p.B2[j]
+		for k, yv := range y {
+			if tied {
+				s += yv * p.W1.At(j, k)
+			} else {
+				s += yv * p.W2.At(k, j)
+			}
+		}
+		z[j] = nn.Sigmoid(s)
+	}
+}
+
 // Objective adapts the reference cost/gradient on the fixed dataset x to
 // the flat-vector form the batch optimizers (CG, L-BFGS) consume. theta and
 // the returned objective share p's storage: evaluating the objective writes

@@ -42,6 +42,10 @@ type AEConfig struct {
 	// PhiShare is the fraction of each batch sent to the coprocessor; 0
 	// selects the throughput-proportional split from the cost model.
 	PhiShare float64
+	// Seed initializes both replicas identically. BuildAE uses it; the
+	// deprecated NewAE fills it from its positional argument. Zero is a
+	// valid seed.
+	Seed uint64
 }
 
 // AE trains one Sparse Autoencoder data-parallel across a host context and
@@ -58,10 +62,19 @@ type AE struct {
 	steps    int
 }
 
-// NewAE builds the pair of replicas. phiCtx must be bound to a device with
-// a PCIe link (the coprocessor); hostCtx to a host device. The models are
-// initialized identically from seed.
+// NewAE builds the pair of replicas with the models initialized
+// identically from seed.
+//
+// Deprecated: use BuildAE with AEConfig.Seed set.
 func NewAE(phiCtx, hostCtx *blas.Context, cfg AEConfig, seed uint64) (*AE, error) {
+	cfg.Seed = seed
+	return BuildAE(phiCtx, hostCtx, cfg)
+}
+
+// BuildAE builds the pair of replicas. phiCtx must be bound to a device
+// with a PCIe link (the coprocessor); hostCtx to a host device. The models
+// are initialized identically from cfg.Seed.
+func BuildAE(phiCtx, hostCtx *blas.Context, cfg AEConfig) (*AE, error) {
 	if cfg.Batch < 2 {
 		return nil, fmt.Errorf("hybrid: combined batch %d too small to split", cfg.Batch)
 	}
@@ -85,11 +98,14 @@ func NewAE(phiCtx, hostCtx *blas.Context, cfg AEConfig, seed uint64) (*AE, error
 	h := &AE{Cfg: cfg, phiBatch: phiBatch, hostBatch: cfg.Batch - phiBatch}
 
 	var err error
-	h.phi, err = autoencoder.New(phiCtx, cfg.Model, h.phiBatch, seed)
+	phiModel, hostModel := cfg.Model, cfg.Model
+	phiModel.Batch, phiModel.Seed = h.phiBatch, cfg.Seed
+	hostModel.Batch, hostModel.Seed = h.hostBatch, cfg.Seed
+	h.phi, err = autoencoder.Build(phiCtx, phiModel)
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: phi replica: %w", err)
 	}
-	h.host, err = autoencoder.New(hostCtx, cfg.Model, h.hostBatch, seed)
+	h.host, err = autoencoder.Build(hostCtx, hostModel)
 	if err != nil {
 		h.phi.Free()
 		return nil, fmt.Errorf("hybrid: host replica: %w", err)
@@ -153,7 +169,8 @@ func probeOneStep(ctx *blas.Context, model autoencoder.Config, batch int) float6
 	dev := device.New(ctx.Dev.Arch, false, nil)
 	probe := *ctx
 	probe.Dev = dev
-	m, err := autoencoder.New(&probe, model, batch, 1)
+	model.Batch, model.Seed = batch, 1
+	m, err := autoencoder.Build(&probe, model)
 	if err != nil {
 		// Shard too large for the probe device: treat as very slow so the
 		// split avoids it.
@@ -319,7 +336,8 @@ func (h *AE) Download() *autoencoder.Params { return h.phi.Download() }
 // simulated time and final loss. It is the hybrid counterpart of the
 // single-device core.Trainer for benchmarking.
 func Run(phiCtx, hostCtx *blas.Context, cfg AEConfig, src data.Source, iterations int, lr float64, seed uint64) (simSeconds, finalLoss float64, err error) {
-	h, err := NewAE(phiCtx, hostCtx, cfg, seed)
+	cfg.Seed = seed
+	h, err := BuildAE(phiCtx, hostCtx, cfg)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -189,8 +189,11 @@ func softmaxRow(row []float64) {
 	}
 }
 
-// Predict returns the class argmax for one example.
-func (p *Params) Predict(cfg Config, x []float64) int {
+// PredictProbs runs the forward pass on one example and returns the softmax
+// class probabilities (length Sizes[last]). It is the scalar host reference
+// the serving layer degrades to under overload and verifies the device path
+// against.
+func (p *Params) PredictProbs(cfg Config, x []float64) []float64 {
 	L := cfg.Layers()
 	in := append([]float64(nil), x...)
 	for l := 0; l < L; l++ {
@@ -211,8 +214,14 @@ func (p *Params) Predict(cfg Config, x []float64) int {
 		}
 		in = out
 	}
+	return in
+}
+
+// Predict returns the class argmax for one example.
+func (p *Params) Predict(cfg Config, x []float64) int {
+	probs := p.PredictProbs(cfg, x)
 	best, bestV := 0, math.Inf(-1)
-	for j, v := range in {
+	for j, v := range probs {
 		if v > bestV {
 			best, bestV = j, v
 		}

@@ -309,6 +309,28 @@ func (p *Params) Encode(x, y []float64) {
 	}
 }
 
+// Reconstruct maps one example x (length Visible) through the mean-field
+// round trip to its reconstruction z (length Visible): hidden probabilities
+// σ(x·W + c), then σ(h·Wᵀ + b) for binary visibles or the linear mean
+// b + hWᵀ when gaussian is set (Config.GaussianVisible). It is the scalar
+// host reference the serving layer degrades to under overload.
+func (p *Params) Reconstruct(x, z []float64, gaussian bool) {
+	y := make([]float64, p.W.Cols)
+	p.Encode(x, y)
+	for i := range z {
+		s := p.B[i]
+		row := p.W.RowView(i)
+		for j, yj := range y {
+			s += yj * row[j]
+		}
+		if gaussian {
+			z[i] = s
+		} else {
+			z[i] = nn.Sigmoid(s)
+		}
+	}
+}
+
 // ParamSet registers the parameters in canonical order (W, b, c) for the
 // flat-vector optimizers and for serialization.
 func (p *Params) ParamSet() *nn.ParamSet {

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"phideep/internal/metrics"
+)
+
+// Metric handles, resolved once against the default registry; every record
+// site is guarded by metrics.Enabled so a server with collection off pays
+// one atomic load per event.
+var (
+	mRequests   = metrics.Default().Counter("serve.requests")
+	mBatches    = metrics.Default().Counter("serve.batches")
+	mSheds      = metrics.Default().Counter("serve.sheds")
+	mDegrades   = metrics.Default().Counter("serve.degrades")
+	mQueueDepth = metrics.Default().Gauge("serve.queue.depth")
+	mBatchSize  = metrics.Default().Histogram("serve.batch.size", metrics.LinearBuckets(1, 1, 64)...)
+	mLatency    = metrics.Default().Histogram("serve.latency.seconds", metrics.ExpBuckets(1e-6, 2, 24)...)
+)
+
+func recordBatch(size int) {
+	if !metrics.Enabled() {
+		return
+	}
+	mRequests.Add(int64(size))
+	mBatches.Inc()
+	mBatchSize.Observe(float64(size))
+}
+
+func recordShed() {
+	if metrics.Enabled() {
+		mSheds.Inc()
+	}
+}
+
+func recordDegrade() {
+	if metrics.Enabled() {
+		mDegrades.Inc()
+	}
+}
+
+func recordQueueDepth(depth int) {
+	if metrics.Enabled() {
+		mQueueDepth.Set(float64(depth))
+	}
+}
+
+func recordLatency(d time.Duration) {
+	if metrics.Enabled() {
+		mLatency.Observe(d.Seconds())
+	}
+}
+
+// counters is the server's always-on internal ledger backing Stats.
+type counters struct {
+	requests      atomic.Int64
+	batches       atomic.Int64
+	flushFull     atomic.Int64
+	flushDeadline atomic.Int64
+	sheds         atomic.Int64
+	degrades      atomic.Int64
+	completed     atomic.Int64
+	batchSizeSum  atomic.Int64
+	latencyNanos  atomic.Int64
+}
+
+// BatcherStats is a point-in-time snapshot of the micro-batcher, returned
+// by Server.Stats.
+type BatcherStats struct {
+	// Requests counts admitted requests; Completed those already answered
+	// by a worker (degraded answers count in Degrades only).
+	Requests  int64
+	Completed int64
+	// Batches counts dispatched batches; FlushFull of them flushed at
+	// MaxBatch and FlushDeadline on the MaxWait timer (Close-time flushes
+	// count as deadline flushes).
+	Batches       int64
+	FlushFull     int64
+	FlushDeadline int64
+	// Sheds and Degrades count full-queue rejections and host-path
+	// fallbacks under the respective policies.
+	Sheds    int64
+	Degrades int64
+	// QueueDepth is the current number of admitted, not-yet-dispatched
+	// requests.
+	QueueDepth int
+	// AvgBatchSize is Requests-weighted mean coalescing achieved.
+	AvgBatchSize float64
+	// MeanLatencySeconds is the mean enqueue-to-answer latency of
+	// completed requests. Percentiles belong to the caller: the phiserve
+	// load generator computes p50/p99 from its own samples.
+	MeanLatencySeconds float64
+}
+
+// Stats returns a consistent-enough snapshot of the batcher counters (each
+// field is read atomically; the set is not a single atomic cut).
+func (s *Server) Stats() BatcherStats {
+	st := BatcherStats{
+		Requests:      s.st.requests.Load(),
+		Completed:     s.st.completed.Load(),
+		Batches:       s.st.batches.Load(),
+		FlushFull:     s.st.flushFull.Load(),
+		FlushDeadline: s.st.flushDeadline.Load(),
+		Sheds:         s.st.sheds.Load(),
+		Degrades:      s.st.degrades.Load(),
+	}
+	s.mu.Lock()
+	st.QueueDepth = s.queued
+	s.mu.Unlock()
+	if st.Batches > 0 {
+		st.AvgBatchSize = float64(s.st.batchSizeSum.Load()) / float64(st.Batches)
+	}
+	if st.Completed > 0 {
+		st.MeanLatencySeconds = float64(s.st.latencyNanos.Load()) / float64(st.Completed) / 1e9
+	}
+	return st
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/core"
+	"phideep/internal/mlp"
+	"phideep/internal/rbm"
+)
+
+// modelKind discriminates the served model family.
+type modelKind int
+
+const (
+	kindAE modelKind = iota
+	kindRBM
+	kindMLP
+)
+
+// Model is an immutable, host-side snapshot of a trained model ready to be
+// served. The constructors deep-copy the parameters (copy-on-load), so the
+// source — a live training run, a checkpoint buffer — can keep mutating
+// without racing the server. Workers upload the snapshot into their private
+// devices at startup and never write it.
+type Model struct {
+	kind modelKind
+
+	aeCfg  autoencoder.Config
+	rbmCfg rbm.Config
+	mlpCfg mlp.Config
+
+	ae *autoencoder.Params
+	rb *rbm.Params
+	ml *mlp.Params
+}
+
+// Autoencoder wraps autoencoder parameters for serving (Encode and
+// Reconstruct). p is deep-copied; nil initializes fresh parameters from
+// cfg.Seed (useful for load tests without a training run).
+func Autoencoder(cfg autoencoder.Config, p *autoencoder.Params) *Model {
+	if p == nil {
+		p = autoencoder.NewParams(cfg, cfg.Seed)
+	} else {
+		p = p.Clone()
+	}
+	return &Model{kind: kindAE, aeCfg: cfg, ae: p}
+}
+
+// RBM wraps RBM parameters for serving (Encode and mean-field
+// Reconstruct). p is deep-copied; nil initializes from cfg.Seed.
+func RBM(cfg rbm.Config, p *rbm.Params) *Model {
+	if p == nil {
+		p = rbm.NewParams(cfg, cfg.Seed)
+	} else {
+		p = p.Clone()
+	}
+	return &Model{kind: kindRBM, rbmCfg: cfg, rb: p}
+}
+
+// MLP wraps classifier parameters for serving (Predict). p is deep-copied;
+// nil initializes from cfg.Seed.
+func MLP(cfg mlp.Config, p *mlp.Params) *Model {
+	if p == nil {
+		p = mlp.NewParams(cfg, cfg.Seed)
+	} else {
+		p = cloneMLP(cfg, p)
+	}
+	return &Model{kind: kindMLP, mlpCfg: cfg, ml: p}
+}
+
+// cloneMLP deep-copies classifier parameters (mlp.Params has no Clone).
+func cloneMLP(cfg mlp.Config, p *mlp.Params) *mlp.Params {
+	c := mlp.NewParams(cfg, 0)
+	for l := range p.W {
+		c.W[l] = p.W[l].Clone()
+		c.B[l] = p.B[l].Clone()
+	}
+	return c
+}
+
+// AutoencoderFromCheckpoint loads autoencoder parameters from a PHCK
+// checkpoint written by core.Trainer or phitrain. The checkpoint stores
+// only the flat parameter data; cfg must describe the geometry it was
+// trained with.
+func AutoencoderFromCheckpoint(cfg autoencoder.Config, path string) (*Model, error) {
+	c, err := core.ReadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	p := autoencoder.NewParams(cfg, 0)
+	// The model blob is the parameter set followed by the trainer's RNG
+	// state, which serving does not need.
+	if err := p.Load(bytes.NewReader(c.Model)); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return &Model{kind: kindAE, aeCfg: cfg, ae: p}, nil
+}
+
+// RBMFromCheckpoint loads RBM parameters from a PHCK checkpoint.
+func RBMFromCheckpoint(cfg rbm.Config, path string) (*Model, error) {
+	c, err := core.ReadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	p := rbm.NewParams(cfg, 0)
+	if err := p.Load(bytes.NewReader(c.Model)); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return &Model{kind: kindRBM, rbmCfg: cfg, rb: p}, nil
+}
+
+// MLPFromCheckpoint loads classifier parameters from a PHCK checkpoint.
+func MLPFromCheckpoint(cfg mlp.Config, path string) (*Model, error) {
+	c, err := core.ReadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	p := mlp.NewParams(cfg, 0)
+	if err := p.Load(bytes.NewReader(c.Model)); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return &Model{kind: kindMLP, mlpCfg: cfg, ml: p}, nil
+}
+
+// Kind names the model family: "autoencoder", "rbm" or "mlp".
+func (m *Model) Kind() string {
+	switch m.kind {
+	case kindAE:
+		return "autoencoder"
+	case kindRBM:
+		return "rbm"
+	case kindMLP:
+		return "mlp"
+	default:
+		return fmt.Sprintf("kind(%d)", int(m.kind))
+	}
+}
+
+// InputDim is the expected request vector length.
+func (m *Model) InputDim() int {
+	switch m.kind {
+	case kindAE:
+		return m.aeCfg.Visible
+	case kindRBM:
+		return m.rbmCfg.Visible
+	default:
+		return m.mlpCfg.Sizes[0]
+	}
+}
+
+// OutputDim is the response vector length for op.
+func (m *Model) OutputDim(op Op) int {
+	switch m.kind {
+	case kindAE:
+		if op == OpEncode {
+			return m.aeCfg.Hidden
+		}
+		return m.aeCfg.Visible
+	case kindRBM:
+		if op == OpEncode {
+			return m.rbmCfg.Hidden
+		}
+		return m.rbmCfg.Visible
+	default:
+		return m.mlpCfg.Sizes[len(m.mlpCfg.Sizes)-1]
+	}
+}
+
+// Ops lists the operations this model answers.
+func (m *Model) Ops() []Op {
+	if m.kind == kindMLP {
+		return []Op{OpPredict}
+	}
+	return []Op{OpEncode, OpReconstruct}
+}
+
+// supports reports whether op is valid for the model family.
+func (m *Model) supports(op Op) bool {
+	if m.kind == kindMLP {
+		return op == OpPredict
+	}
+	return op == OpEncode || op == OpReconstruct
+}
+
+// hostInfer answers one request on the calling goroutine with the scalar
+// host reference — the Degrade path. Bit-identical to the device path at
+// core.Baseline; toleranced (≈1e-12 relative) against the blocked levels,
+// which reorder the reduction.
+func (m *Model) hostInfer(op Op, x []float64) []float64 {
+	out := make([]float64, m.OutputDim(op))
+	switch m.kind {
+	case kindAE:
+		if op == OpEncode {
+			m.ae.Encode(x, out)
+		} else {
+			m.ae.Reconstruct(x, out, m.aeCfg.Tied)
+		}
+	case kindRBM:
+		if op == OpEncode {
+			m.rb.Encode(x, out)
+		} else {
+			m.rb.Reconstruct(x, out, m.rbmCfg.GaussianVisible)
+		}
+	default:
+		copy(out, m.ml.PredictProbs(m.mlpCfg, x))
+	}
+	return out
+}

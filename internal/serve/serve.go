@@ -1,0 +1,374 @@
+// Package serve is phideep's online-inference subsystem: it turns a
+// trained model into a server that answers concurrent single-example
+// encode/reconstruct/predict requests. The ROADMAP north star is a system
+// "serving heavy traffic from millions of users"; this package supplies
+// the missing half of that story on top of the training stack.
+//
+// # Architecture
+//
+// Requests are coalesced by a dynamic micro-batcher: each operation has a
+// pending queue that flushes to a worker either when it reaches
+// Config.MaxBatch or when the oldest request has waited Config.MaxWait,
+// whichever comes first — the batching lever that CHAOS (Viebke et al.)
+// shows keeps many-core utilization high, applied to latency-bound
+// traffic. Flushed batches execute on a pool of device-bound workers,
+// each owning a private simulated device (device.Device is not safe for
+// concurrent use) with a forward-only model replica built by the model
+// packages' NewInference constructors, running the exact blas/kernels
+// forward path of training at any core OptLevel.
+//
+// Admission is controlled by a bounded queue of Config.QueueDepth
+// not-yet-dispatched requests. When the queue is full the configured
+// Policy applies: Block waits for space, Shed fails fast with
+// ErrOverloaded, and Degrade answers inline from the scalar host
+// reference (Params.Encode and friends) — correct but slow, and
+// bit-identical to the device path only at core.Baseline.
+//
+// # Model loading
+//
+// Weights are immutable copies taken at load time (copy-on-load), so a
+// Server never races with continued training on the source model. Load
+// from a PHCK checkpoint written by core.Trainer or cmd/phitrain
+// (AutoencoderFromCheckpoint and friends), or hand off in-process from a
+// trained device model via its Download method:
+//
+//	model := serve.Autoencoder(cfg, trained.Download())
+//	srv, err := serve.New(model, serve.Config{MaxBatch: 16, MaxWait: time.Millisecond})
+//
+// Every stage records into internal/metrics (serve.queue.depth,
+// serve.batch.size, serve.latency.seconds, serve.sheds, serve.degrades)
+// when collection is enabled, and Server.Stats returns a BatcherStats
+// snapshot unconditionally.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"phideep/internal/core"
+	"phideep/internal/sim"
+)
+
+// Op identifies a serving operation.
+type Op int
+
+const (
+	// OpEncode maps an input to its hidden representation (autoencoder,
+	// RBM).
+	OpEncode Op = iota
+	// OpReconstruct round-trips an input through the model (autoencoder,
+	// RBM mean-field).
+	OpReconstruct
+	// OpPredict returns softmax class probabilities (MLP).
+	OpPredict
+
+	numOps = 3
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEncode:
+		return "encode"
+	case OpReconstruct:
+		return "reconstruct"
+	case OpPredict:
+		return "predict"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Policy selects the admission-control behavior when the request queue is
+// full.
+type Policy int
+
+const (
+	// Block waits until queue space frees up (backpressure onto callers).
+	Block Policy = iota
+	// Shed fails fast: the request is rejected with ErrOverloaded and no
+	// in-flight work is dropped.
+	Shed
+	// Degrade answers on the caller's goroutine from the scalar host
+	// reference instead of queueing — graceful degradation that trades
+	// the device's throughput for bounded queueing.
+	Degrade
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ErrOverloaded is returned by serving calls under the Shed policy when
+// the admission queue is full.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrClosed is returned by serving calls after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default (see each field).
+type Config struct {
+	// Arch is the simulated platform each worker's device models; nil
+	// selects the paper's Xeon Phi 5110P.
+	Arch *sim.Arch
+	// Level is the optimization-ladder step the workers execute at
+	// (core.Baseline by default — set core.Improved for the full stack).
+	Level core.OptLevel
+	// Cores bounds each worker device's physical cores (0 = all).
+	Cores int
+	// Workers is the number of device-bound workers; each owns a private
+	// device and model replica. Default 1.
+	Workers int
+	// PoolWorkers sizes the Go worker pool backing each device's parallel
+	// kernels; 0 runs kernels on the worker goroutine (deterministic and
+	// cheap for small models).
+	PoolWorkers int
+	// MaxBatch is the coalescing limit: a pending queue flushes as soon
+	// as it holds this many requests. Default 16.
+	MaxBatch int
+	// MaxWait is the deadline lever: a pending queue flushes when its
+	// oldest request has waited this long, even if the batch is short.
+	// Default 1ms.
+	MaxWait time.Duration
+	// QueueDepth bounds the not-yet-dispatched requests across all
+	// operations; at the bound, Policy applies. Default 4×MaxBatch, and
+	// it must be at least MaxBatch so a full batch can form.
+	QueueDepth int
+	// Policy is the full-queue behavior (Block by default).
+	Policy Policy
+	// Seed seeds each worker context's RNG stream (worker i gets
+	// Seed + i). Inference paths draw no samples, so this matters only
+	// for diagnostics.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Arch == nil {
+		c.Arch = sim.XeonPhi5110P()
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("serve: negative worker count %d", c.Workers)
+	}
+	if c.PoolWorkers < 0 {
+		return fmt.Errorf("serve: negative pool size %d", c.PoolWorkers)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: negative max batch %d", c.MaxBatch)
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = time.Millisecond
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("serve: negative max wait %v", c.MaxWait)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.QueueDepth < c.MaxBatch {
+		return fmt.Errorf("serve: queue depth %d below max batch %d", c.QueueDepth, c.MaxBatch)
+	}
+	switch c.Policy {
+	case Block, Shed, Degrade:
+	default:
+		return fmt.Errorf("serve: unknown policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// request is one admitted serving call, completed by a worker (or by the
+// degrade path before admission).
+type request struct {
+	op   Op
+	in   []float64
+	out  []float64
+	err  error
+	done chan struct{}
+	enq  time.Time
+}
+
+// Server coalesces concurrent inference requests into micro-batches and
+// executes them on device-bound workers. Create with New; all exported
+// methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	model *Model
+
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	pending  [numOps][]*request
+	timerGen [numOps]uint64
+	queued   int
+	closed   bool
+
+	batches chan []*request
+	workers []*worker
+	wg      sync.WaitGroup
+
+	st counters
+}
+
+// New builds a server for the model: Workers device-bound replicas plus
+// the micro-batcher. The model's weights were already copied at load time,
+// so the source of the parameters may keep training.
+func New(m *Model, cfg Config) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("serve: nil model")
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		model:   m,
+		batches: make(chan []*request, cfg.QueueDepth),
+	}
+	s.notFull = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := newWorker(s, i)
+		if err != nil {
+			for _, prev := range s.workers {
+				prev.free()
+			}
+			return nil, fmt.Errorf("serve: worker %d: %w", i, err)
+		}
+		s.workers = append(s.workers, w)
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.loop()
+	}
+	return s, nil
+}
+
+// Encode maps one example to its hidden representation (autoencoder, RBM).
+func (s *Server) Encode(x []float64) ([]float64, error) { return s.do(OpEncode, x) }
+
+// Reconstruct round-trips one example through the model (autoencoder, RBM
+// mean-field reconstruction).
+func (s *Server) Reconstruct(x []float64) ([]float64, error) { return s.do(OpReconstruct, x) }
+
+// Predict returns the softmax class probabilities for one example (MLP).
+func (s *Server) Predict(x []float64) ([]float64, error) { return s.do(OpPredict, x) }
+
+// Model returns the served model description.
+func (s *Server) Model() *Model { return s.model }
+
+// do admits, batches and awaits one request.
+func (s *Server) do(op Op, x []float64) ([]float64, error) {
+	if !s.model.supports(op) {
+		return nil, fmt.Errorf("serve: %s model does not support %s", s.model.Kind(), op)
+	}
+	if len(x) != s.model.InputDim() {
+		return nil, fmt.Errorf("serve: input length %d, want %d", len(x), s.model.InputDim())
+	}
+	r := &request{op: op, in: x, done: make(chan struct{}), enq: time.Now()}
+
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if s.queued < s.cfg.QueueDepth {
+			break
+		}
+		switch s.cfg.Policy {
+		case Shed:
+			s.st.sheds.Add(1)
+			s.mu.Unlock()
+			recordShed()
+			return nil, ErrOverloaded
+		case Degrade:
+			s.st.degrades.Add(1)
+			s.mu.Unlock()
+			recordDegrade()
+			return s.model.hostInfer(op, x), nil
+		default: // Block
+			s.notFull.Wait()
+		}
+	}
+	s.queued++
+	s.st.requests.Add(1)
+	s.pending[op] = append(s.pending[op], r)
+	switch {
+	case len(s.pending[op]) >= s.cfg.MaxBatch:
+		s.flushLocked(op, true)
+	case len(s.pending[op]) == 1:
+		gen := s.timerGen[op]
+		time.AfterFunc(s.cfg.MaxWait, func() { s.deadlineFlush(op, gen) })
+	}
+	recordQueueDepth(s.queued)
+	s.mu.Unlock()
+
+	<-r.done
+	return r.out, r.err
+}
+
+// flushLocked hands the pending queue of op to the workers. Caller holds
+// s.mu. The batches channel is sized to QueueDepth — at least one slot per
+// queued request — so the send cannot block while the lock is held.
+func (s *Server) flushLocked(op Op, full bool) {
+	batch := s.pending[op]
+	if len(batch) == 0 {
+		return
+	}
+	s.pending[op] = nil
+	s.timerGen[op]++
+	s.st.batches.Add(1)
+	s.st.batchSizeSum.Add(int64(len(batch)))
+	if full {
+		s.st.flushFull.Add(1)
+	} else {
+		s.st.flushDeadline.Add(1)
+	}
+	recordBatch(len(batch))
+	s.batches <- batch
+}
+
+// deadlineFlush fires when the oldest request of a pending queue has
+// waited MaxWait. gen detects queues already flushed for another reason.
+func (s *Server) deadlineFlush(op Op, gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || gen != s.timerGen[op] {
+		return
+	}
+	s.flushLocked(op, false)
+}
+
+// Close flushes the pending queues, waits for every in-flight batch to
+// complete, and releases the workers' devices. Blocked submitters are
+// woken with ErrClosed; no admitted request is dropped. Close is
+// idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for op := 0; op < numOps; op++ {
+		s.flushLocked(Op(op), false)
+	}
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+	close(s.batches)
+	s.wg.Wait()
+}

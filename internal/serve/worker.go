@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"time"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/blas"
+	"phideep/internal/core"
+	"phideep/internal/device"
+	"phideep/internal/mlp"
+	"phideep/internal/parallel"
+	"phideep/internal/rbm"
+	"phideep/internal/tensor"
+)
+
+// worker owns one simulated device (devices are not safe for concurrent
+// use) with a forward-only model replica and executes homogeneous request
+// batches on it. All workers share the server's immutable Model snapshot
+// read-only; each uploads its own device copy at construction.
+type worker struct {
+	s    *Server
+	ctx  *blas.Context
+	pool *parallel.Pool
+
+	ae *autoencoder.Model
+	rb *rbm.Model
+	ml *mlp.Model
+
+	// x is the staging input buffer, MaxBatch×InputDim; partial batches
+	// compute on its [0,n) row view. stage is its host mirror — CopyIn
+	// transfers whole buffers, so short batches ride in with stale tail
+	// rows that the sliced forward pass never reads.
+	x     *device.Buffer
+	stage *tensor.Matrix
+}
+
+// newWorker builds worker i: private pool (optional), device, context and
+// inference replica.
+func newWorker(s *Server, i int) (*worker, error) {
+	w := &worker{s: s}
+	cfg := s.cfg
+	if cfg.PoolWorkers > 0 {
+		w.pool = parallel.NewPool(cfg.PoolWorkers)
+	}
+	dev := device.New(cfg.Arch, true, w.pool)
+	w.ctx = core.NewContext(dev, cfg.Level, cfg.Cores, cfg.Seed+uint64(i))
+
+	m := s.model
+	var err error
+	switch m.kind {
+	case kindAE:
+		w.ae, err = autoencoder.NewInference(w.ctx, m.aeCfg, cfg.MaxBatch, m.ae)
+	case kindRBM:
+		w.rb, err = rbm.NewInference(w.ctx, m.rbmCfg, cfg.MaxBatch, m.rb)
+	default:
+		w.ml, err = mlp.NewInference(w.ctx, m.mlpCfg, cfg.MaxBatch, m.ml)
+	}
+	if err != nil {
+		w.free()
+		return nil, err
+	}
+	w.x, err = dev.Alloc(cfg.MaxBatch, m.InputDim())
+	if err != nil {
+		w.free()
+		return nil, err
+	}
+	w.stage = tensor.NewMatrix(cfg.MaxBatch, m.InputDim())
+	return w, nil
+}
+
+// loop drains the dispatch channel until the server closes it.
+func (w *worker) loop() {
+	defer w.s.wg.Done()
+	defer w.free()
+	for batch := range w.s.batches {
+		w.s.mu.Lock()
+		w.s.queued -= len(batch)
+		w.s.notFull.Broadcast()
+		recordQueueDepth(w.s.queued)
+		w.s.mu.Unlock()
+		w.run(batch)
+	}
+}
+
+// run executes one homogeneous batch: stage the rows, one CopyIn, the
+// batched device forward pass on the [0,n) view, one CopyOut, then
+// complete every request. Per-row results are independent of the batch
+// composition (GEMM partitions and reduces per output row), so coalescing
+// never changes an answer bit.
+func (w *worker) run(batch []*request) {
+	op := batch[0].op
+	n := len(batch)
+	for i, r := range batch {
+		copy(w.stage.RowView(i), r.in)
+	}
+	dev := w.ctx.Dev
+	dev.CopyIn(w.x, w.stage, 0)
+	xv := w.x
+	if n < w.x.Rows {
+		xv = w.x.Slice(0, n)
+	}
+
+	var out *device.Buffer
+	switch {
+	case w.ae != nil:
+		if op == OpEncode {
+			out = w.ae.Encode(xv)
+		} else {
+			out = w.ae.Reconstruct(xv)
+		}
+	case w.rb != nil:
+		if op == OpEncode {
+			out = w.rb.Encode(xv)
+		} else {
+			out = w.rb.Reconstruct(xv)
+		}
+	default:
+		out = w.ml.Infer(xv)
+	}
+
+	res := tensor.NewMatrix(n, out.Cols)
+	dev.CopyOut(out, res)
+	now := time.Now()
+	for i, r := range batch {
+		r.out = append([]float64(nil), res.RowView(i)...)
+		lat := now.Sub(r.enq)
+		w.s.st.completed.Add(1)
+		w.s.st.latencyNanos.Add(lat.Nanoseconds())
+		recordLatency(lat)
+		close(r.done)
+	}
+}
+
+// free releases the worker's device resources and pool.
+func (w *worker) free() {
+	if w.ae != nil {
+		w.ae.Free()
+		w.ae = nil
+	}
+	if w.rb != nil {
+		w.rb.Free()
+		w.rb = nil
+	}
+	if w.ml != nil {
+		w.ml.Free()
+		w.ml = nil
+	}
+	if w.x != nil {
+		w.ctx.Dev.Free(w.x)
+		w.x = nil
+	}
+	if w.pool != nil {
+		w.pool.Close()
+		w.pool = nil
+	}
+}

@@ -26,18 +26,25 @@
 //
 // A minimal numeric session:
 //
-//	m := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+//	m := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 //	defer m.Close()
 //	ctx := phideep.NewContext(m.Dev, phideep.Improved, 0, 42)
-//	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
+//	ae, err := phideep.BuildAutoencoder(ctx, phideep.AutoencoderConfig{
 //		Visible: 64, Hidden: 25, Lambda: 1e-4, Beta: 3, Rho: 0.05,
-//	}, 100, 1)
+//		Batch: 100, Seed: 1,
+//	})
 //	...
 //	trainer := &phideep.Trainer{Dev: m.Dev, Cfg: phideep.TrainConfig{
 //		Epochs: 10, LR: 0.5, Prefetch: true,
 //	}}
 //	res, err := trainer.Run(ae, phideep.NewDigits(8, 10000, 7, 0.05))
 //	fmt.Println(res.SimSeconds, res.FinalLoss)
+//
+// Trained models answer online traffic through the serving layer: wrap the
+// parameters with ServeAutoencoder / ServeRBM / ServeMLP (or load a PHCK
+// checkpoint), then NewServer coalesces concurrent requests into
+// micro-batches on device-bound workers. See internal/serve and
+// cmd/phiserve.
 package phideep
 
 import (
@@ -54,6 +61,7 @@ import (
 	"phideep/internal/parallel"
 	"phideep/internal/rbm"
 	"phideep/internal/rng"
+	"phideep/internal/serve"
 	"phideep/internal/sim"
 	"phideep/internal/stack"
 	"phideep/internal/tensor"
@@ -95,6 +103,9 @@ type (
 	// Checkpointer is implemented by models that can serialize their
 	// resumable training state (the Autoencoder and RBM both do).
 	Checkpointer = core.Checkpointer
+	// Checkpoint is the decoded form of a PHCK checkpoint file: training
+	// cursor plus the model state blob.
+	Checkpoint = core.Checkpoint
 
 	// Autoencoder is the paper's Sparse Autoencoder resident on a device.
 	Autoencoder = autoencoder.Model
@@ -171,6 +182,28 @@ type (
 	TuneResult     = tune.Result
 	TuneAEWorkload = tune.AEWorkload
 
+	// Server coalesces concurrent single-example inference requests into
+	// micro-batches executed on device-bound workers — the online serving
+	// layer over a trained model. Create with NewServer.
+	Server = serve.Server
+	// ServeConfig parameterizes a Server: platform, OptLevel, worker
+	// count, micro-batching window (MaxBatch/MaxWait) and admission
+	// control (QueueDepth/Policy).
+	ServeConfig = serve.Config
+	// ServeModel is an immutable (copy-on-load) snapshot of trained
+	// parameters ready to serve; build one with ServeAutoencoder,
+	// ServeRBM, ServeMLP or the *FromCheckpoint loaders.
+	ServeModel = serve.Model
+	// ServePolicy selects the full-queue behavior (ServeBlock, ServeShed,
+	// ServeDegrade).
+	ServePolicy = serve.Policy
+	// ServeOp identifies a serving operation (encode, reconstruct,
+	// predict).
+	ServeOp = serve.Op
+	// BatcherStats is a point-in-time snapshot of the micro-batcher,
+	// returned by (*Server).Stats.
+	BatcherStats = serve.BatcherStats
+
 	// AdaptiveLR is a loss-driven learning-rate controller for
 	// TrainConfig.Adaptive; BoldDriver is the classic implementation.
 	AdaptiveLR = opt.AdaptiveLR
@@ -196,6 +229,25 @@ const (
 	// Improved adds loop fusion and Fig. 6 dependency-graph scheduling.
 	Improved = core.Improved
 )
+
+// Admission-control policies for a full serving queue
+// (ServeConfig.Policy).
+const (
+	// ServeBlock parks callers until queue space frees (backpressure).
+	ServeBlock = serve.Block
+	// ServeShed rejects new requests with ErrOverloaded, never dropping
+	// admitted work.
+	ServeShed = serve.Shed
+	// ServeDegrade answers inline from the scalar host reference path.
+	ServeDegrade = serve.Degrade
+)
+
+// ErrOverloaded is returned by serving calls under ServeShed when the
+// admission queue is full.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrServerClosed is returned by serving calls made after (*Server).Close.
+var ErrServerClosed = serve.ErrClosed
 
 // Cluster straggler policies (ClusterConfig.Policy).
 const (
@@ -232,16 +284,61 @@ type Machine struct {
 	pool *parallel.Pool
 }
 
-// NewMachine creates a device for the given platform. numeric selects real
-// kernel execution (plus simulated timing) versus timing-only; workers sets
-// the host worker pool size for numeric parallel kernels (0 = GOMAXPROCS,
-// ignored when numeric is false).
-func NewMachine(arch *Arch, numeric bool, workers int) *Machine {
-	var pool *parallel.Pool
-	if numeric {
-		pool = parallel.NewPool(workers)
+// MachineOption configures NewMachine. Options compose left to right:
+//
+//	phideep.NewMachine(arch)                                         // timing-only
+//	phideep.NewMachine(arch, phideep.WithNumeric())                  // numeric
+//	phideep.NewMachine(arch, phideep.WithNumeric(), phideep.WithWorkers(8))
+type MachineOption func(*machineOptions)
+
+type machineOptions struct {
+	numeric bool
+	workers int
+}
+
+// WithNumeric makes the machine really execute kernels (alongside the
+// simulated timing) instead of only accounting time.
+func WithNumeric() MachineOption {
+	return func(o *machineOptions) { o.numeric = true }
+}
+
+// WithTimingOnly makes the machine only account simulated time — the
+// default; the option exists to state it explicitly.
+func WithTimingOnly() MachineOption {
+	return func(o *machineOptions) { o.numeric = false }
+}
+
+// WithWorkers sets the host worker pool size for numeric parallel kernels
+// (0 = GOMAXPROCS). It has no effect on a timing-only machine.
+func WithWorkers(n int) MachineOption {
+	return func(o *machineOptions) { o.workers = n }
+}
+
+// NewMachine creates a device for the given platform. By default the
+// machine is timing-only (it accounts simulated seconds without computing);
+// pass WithNumeric to execute kernels for real, and WithWorkers to size the
+// kernel pool.
+func NewMachine(arch *Arch, opts ...MachineOption) *Machine {
+	var o machineOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return &Machine{Dev: device.New(arch, numeric, pool), pool: pool}
+	var pool *parallel.Pool
+	if o.numeric {
+		pool = parallel.NewPool(o.workers)
+	}
+	return &Machine{Dev: device.New(arch, o.numeric, pool), pool: pool}
+}
+
+// NewMachineAt creates a device with the pre-option positional arguments.
+//
+// Deprecated: use NewMachine with WithNumeric and WithWorkers options.
+func NewMachineAt(arch *Arch, numeric bool, workers int) *Machine {
+	opts := []MachineOption{WithWorkers(workers)}
+	if numeric {
+		opts = append(opts, WithNumeric())
+	}
+	return NewMachine(arch, opts...)
 }
 
 // Close stops the machine's worker pool. The device must not execute
@@ -259,33 +356,135 @@ func NewContext(dev *Device, lvl OptLevel, cores int, seed uint64) *Context {
 	return core.NewContext(dev, lvl, cores, seed)
 }
 
+// BuildAutoencoder allocates a Sparse Autoencoder on the context's device
+// for cfg.Batch examples, initialized from cfg.Seed.
+func BuildAutoencoder(ctx *Context, cfg AutoencoderConfig) (*Autoencoder, error) {
+	return autoencoder.Build(ctx, cfg)
+}
+
 // NewAutoencoder allocates a Sparse Autoencoder for the given batch size on
 // the context's device, initialized from seed.
+//
+// Deprecated: use BuildAutoencoder with AutoencoderConfig.Batch and
+// AutoencoderConfig.Seed set.
 func NewAutoencoder(ctx *Context, cfg AutoencoderConfig, batch int, seed uint64) (*Autoencoder, error) {
-	return autoencoder.New(ctx, cfg, batch, seed)
+	cfg.Batch, cfg.Seed = batch, seed
+	return autoencoder.Build(ctx, cfg)
+}
+
+// BuildRBM allocates a Restricted Boltzmann Machine on the context's
+// device for cfg.Batch examples, initialized from cfg.Seed.
+func BuildRBM(ctx *Context, cfg RBMConfig) (*RBM, error) {
+	return rbm.Build(ctx, cfg)
 }
 
 // NewRBM allocates a Restricted Boltzmann Machine for the given batch size
 // on the context's device, initialized from seed.
+//
+// Deprecated: use BuildRBM with RBMConfig.Batch and RBMConfig.Seed set.
 func NewRBM(ctx *Context, cfg RBMConfig, batch int, seed uint64) (*RBM, error) {
-	return rbm.New(ctx, cfg, batch, seed)
+	cfg.Batch, cfg.Seed = batch, seed
+	return rbm.Build(ctx, cfg)
+}
+
+// BuildMLP allocates a deep softmax classifier on the context's device for
+// cfg.Batch examples, initialized from cfg.Seed. Use (*MLP).InitFromStack
+// to warm-start its hidden layers from a pre-trained stack.
+func BuildMLP(ctx *Context, cfg MLPConfig) (*MLP, error) {
+	return mlp.Build(ctx, cfg)
 }
 
 // NewMLP allocates a deep softmax classifier for supervised fine-tuning.
-// Use (*MLP).InitFromStack to warm-start its hidden layers from a
-// pre-trained stack.
+//
+// Deprecated: use BuildMLP with MLPConfig.Batch and MLPConfig.Seed set.
 func NewMLP(ctx *Context, cfg MLPConfig, batch int, seed uint64) (*MLP, error) {
-	return mlp.New(ctx, cfg, batch, seed)
+	cfg.Batch, cfg.Seed = batch, seed
+	return mlp.Build(ctx, cfg)
+}
+
+// NewAutoencoderInference allocates a forward-only Sparse Autoencoder for
+// up to batch examples: Encode/Reconstruct work (and allocate no gradient
+// buffers), the training entry points panic. p supplies the weights (nil
+// initializes from cfg.Seed).
+func NewAutoencoderInference(ctx *Context, cfg AutoencoderConfig, batch int, p *AutoencoderParams) (*Autoencoder, error) {
+	return autoencoder.NewInference(ctx, cfg, batch, p)
+}
+
+// NewRBMInference allocates a forward-only RBM (deterministic mean-field
+// Encode/Reconstruct, no gradient or chain workspace).
+func NewRBMInference(ctx *Context, cfg RBMConfig, batch int, p *RBMParams) (*RBM, error) {
+	return rbm.NewInference(ctx, cfg, batch, p)
+}
+
+// NewMLPInference allocates a forward-only classifier (batched Infer, no
+// gradient workspace).
+func NewMLPInference(ctx *Context, cfg MLPConfig, batch int, p *MLPParams) (*MLP, error) {
+	return mlp.NewInference(ctx, cfg, batch, p)
 }
 
 // OneHot fills dst (len(labels)×classes) with one-hot target rows.
 func OneHot(labels []int, dst *Matrix) { kernels.OneHot(labels, dst) }
 
+// BuildHybridAE builds a host+coprocessor data-parallel Sparse Autoencoder
+// pair (§VI future work), both replicas initialized from cfg.Seed. phiCtx
+// must be bound to a device with a PCIe link.
+func BuildHybridAE(phiCtx, hostCtx *Context, cfg HybridAEConfig) (*HybridAE, error) {
+	return hybrid.BuildAE(phiCtx, hostCtx, cfg)
+}
+
 // NewHybridAE builds a host+coprocessor data-parallel Sparse Autoencoder
-// pair (§VI future work). phiCtx must be bound to a device with a PCIe
-// link.
+// pair.
+//
+// Deprecated: use BuildHybridAE with HybridAEConfig.Seed set.
 func NewHybridAE(phiCtx, hostCtx *Context, cfg HybridAEConfig, seed uint64) (*HybridAE, error) {
-	return hybrid.NewAE(phiCtx, hostCtx, cfg, seed)
+	cfg.Seed = seed
+	return hybrid.BuildAE(phiCtx, hostCtx, cfg)
+}
+
+// NewServer builds an online inference server over a ServeModel: Workers
+// device-bound replicas behind a dynamic micro-batcher with admission
+// control. See ServeConfig for the knobs and cmd/phiserve for the HTTP
+// front-end.
+func NewServer(m *ServeModel, cfg ServeConfig) (*Server, error) {
+	return serve.New(m, cfg)
+}
+
+// ServeAutoencoder snapshots autoencoder parameters for serving (Encode
+// and Reconstruct). p is deep-copied at load (copy-on-load), so the source
+// may keep training; nil initializes fresh parameters from cfg.Seed.
+func ServeAutoencoder(cfg AutoencoderConfig, p *AutoencoderParams) *ServeModel {
+	return serve.Autoencoder(cfg, p)
+}
+
+// ServeRBM snapshots RBM parameters for serving (Encode and mean-field
+// Reconstruct). p is deep-copied; nil initializes from cfg.Seed.
+func ServeRBM(cfg RBMConfig, p *RBMParams) *ServeModel {
+	return serve.RBM(cfg, p)
+}
+
+// ServeMLP snapshots classifier parameters for serving (Predict). p is
+// deep-copied; nil initializes from cfg.Seed.
+func ServeMLP(cfg MLPConfig, p *MLPParams) *ServeModel {
+	return serve.MLP(cfg, p)
+}
+
+// ServeAutoencoderCheckpoint loads autoencoder parameters from a PHCK
+// checkpoint (written by Trainer or phitrain -export) for serving. cfg
+// must describe the geometry the checkpoint was trained with.
+func ServeAutoencoderCheckpoint(cfg AutoencoderConfig, path string) (*ServeModel, error) {
+	return serve.AutoencoderFromCheckpoint(cfg, path)
+}
+
+// ServeRBMCheckpoint loads RBM parameters from a PHCK checkpoint for
+// serving.
+func ServeRBMCheckpoint(cfg RBMConfig, path string) (*ServeModel, error) {
+	return serve.RBMFromCheckpoint(cfg, path)
+}
+
+// ServeMLPCheckpoint loads classifier parameters from a PHCK checkpoint
+// for serving.
+func ServeMLPCheckpoint(cfg MLPConfig, path string) (*ServeModel, error) {
+	return serve.MLPFromCheckpoint(cfg, path)
 }
 
 // NewCluster builds an N-node parameter-averaging cluster of the given
@@ -340,6 +539,13 @@ func CG(obj Objective, theta Vector, cfg CGConfig) OptResult {
 func LBFGS(obj Objective, theta Vector, cfg LBFGSConfig) OptResult {
 	return opt.LBFGS(obj, theta, cfg)
 }
+
+// WriteCheckpoint atomically writes a PHCK checkpoint file (temp file,
+// fsync, rename), as the Trainer does for its periodic checkpoints.
+func WriteCheckpoint(path string, c *Checkpoint) error { return core.WriteCheckpoint(path, c) }
+
+// ReadCheckpoint reads and validates a PHCK checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return core.ReadCheckpoint(path) }
 
 // NewMatrix allocates a zeroed rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }

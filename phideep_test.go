@@ -11,7 +11,7 @@ import (
 )
 
 func TestEndToEndNumericTraining(t *testing.T) {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 42)
 	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
@@ -37,7 +37,7 @@ func TestEndToEndNumericTraining(t *testing.T) {
 
 func TestLadderComparisonThroughFacade(t *testing.T) {
 	timeAt := func(lvl phideep.OptLevel) float64 {
-		mach := phideep.NewMachine(phideep.XeonPhi5110P(), false, 0)
+		mach := phideep.NewMachine(phideep.XeonPhi5110P())
 		ctx := phideep.NewContext(mach.Dev, lvl, 0, 1)
 		ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{Visible: 1024, Hidden: 512}, 1000, 1)
 		if err != nil {
@@ -62,7 +62,7 @@ func (s nullSrc) Len() int                                { return s.n }
 func (s nullSrc) Chunk(start, n int, dst *phideep.Matrix) {}
 
 func TestDBNAndCheckpointRoundTrip(t *testing.T) {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.OpenMPMKL, 0, 5)
 	cfg := phideep.StackConfig{
@@ -94,7 +94,7 @@ func TestDBNAndCheckpointRoundTrip(t *testing.T) {
 }
 
 func TestMLPFineTuningThroughFacade(t *testing.T) {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 11)
 	m, err := phideep.NewMLP(ctx, phideep.MLPConfig{Sizes: []int{64, 16, 10}, Momentum: 0.5}, 25, 1)
@@ -148,8 +148,8 @@ func TestBatchOptimizersThroughFacade(t *testing.T) {
 }
 
 func TestHybridThroughFacade(t *testing.T) {
-	phiMach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
-	hostMach := phideep.NewMachine(phideep.XeonE5620Dual(), true, 0)
+	phiMach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
+	hostMach := phideep.NewMachine(phideep.XeonE5620Dual(), phideep.WithNumeric())
 	defer phiMach.Close()
 	defer hostMach.Close()
 	phiCtx := phideep.NewContext(phiMach.Dev, phideep.Improved, 0, 1)
@@ -196,7 +196,7 @@ func TestTunerThroughFacade(t *testing.T) {
 }
 
 func TestAdaptiveLRThroughFacade(t *testing.T) {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), true, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 8)
 	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{Visible: 64, Hidden: 12}, 20, 1)
@@ -216,7 +216,7 @@ func TestAdaptiveLRThroughFacade(t *testing.T) {
 }
 
 func TestDeviceTraceThroughFacade(t *testing.T) {
-	mach := phideep.NewMachine(phideep.XeonPhi5110P(), false, 0)
+	mach := phideep.NewMachine(phideep.XeonPhi5110P())
 	mach.Dev.EnableTrace(100)
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 1)
 	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{Visible: 32, Hidden: 8}, 10, 1)
