@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"phideep"
 	"phideep/internal/experiments"
@@ -322,6 +323,66 @@ func BenchmarkKernelGemm512(b *testing.B) {
 				kernels.Gemm(pool, lvl, false, false, 1, a, bm, 0, c)
 			}
 			reportGflops(b, 512, 512, 512)
+		})
+	}
+}
+
+// BenchmarkKernelGemm512F32 measures the float32 GEMM ladder on the same
+// 512×512×512 multiply as BenchmarkKernelGemm512. The headline comparison
+// for EXPERIMENTS.md: the blocked f32 path should clear 1.5× the f64
+// GFLOP/s — eight lanes per FMA instead of four, half the pack traffic.
+func BenchmarkKernelGemm512F32(b *testing.B) {
+	r := rng.New(2)
+	a := tensor.NewMatrix(512, 512).Randomize(r, -1, 1).To32()
+	bm := tensor.NewMatrix(512, 512).Randomize(r, -1, 1).To32()
+	c := tensor.NewMatrix32(512, 512)
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	for _, lvl := range kernels.Levels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kernels.Gemm32(pool, lvl, false, false, 1, a, bm, 0, c)
+			}
+			reportGflops(b, 512, 512, 512)
+		})
+	}
+}
+
+// BenchmarkServeEncode measures served Encode throughput through the full
+// micro-batching stack at each precision (examples/s), with enough
+// concurrent clients to keep the batcher coalescing. The f64/f32 ratio is
+// the serving-side view of the reduced-precision speedup.
+func BenchmarkServeEncode(b *testing.B) {
+	for _, prec := range []phideep.Precision{phideep.PrecisionF64, phideep.PrecisionF32} {
+		b.Run(prec.String(), func(b *testing.B) {
+			m := phideep.ServeAutoencoder(phideep.AutoencoderConfig{Visible: 256, Hidden: 64, Seed: 1}, nil)
+			srv, err := phideep.NewServer(m, phideep.ServeConfig{
+				Level: phideep.Improved, Workers: 2,
+				MaxBatch: 32, MaxWait: 200 * time.Microsecond,
+			}, phideep.WithPrecision(prec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(srv.Close)
+			x := make([]float64, 256)
+			r := rng.New(7)
+			for j := range x {
+				x[j] = r.Float64()
+			}
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := srv.Encode(x); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "examples/s")
+			}
 		})
 	}
 }

@@ -26,6 +26,9 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# The pure-Go micro-kernel fallbacks (f64 and f32) must stay correct on
+# their own: re-run the kernel suite with the assembly path compiled out.
+go test -tags noasm ./internal/kernels/...
 # core and stack carry the fault-injection, checkpoint/resume and chunk
 # prefetch tests, which overlap the loading goroutine with training; the
 # cluster package rides along for its checkpoint-handoff paths; serve is

@@ -79,16 +79,18 @@ func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, du
 	}
 	st := srv.Stats()
 
-	fmt.Fprintf(w, "phiserve loadgen: op=%s clients=%d duration=%v max-wait=%v policy=%s\n",
-		opName, clients, duration, maxWait, policyName)
+	fmt.Fprintf(w, "phiserve loadgen: op=%s clients=%d duration=%v max-wait=%v policy=%s precision=%s\n",
+		opName, clients, duration, maxWait, policyName, st.Precision)
 	fmt.Fprintf(w, "  requests: %d ok, %d shed, %d failed (%.1f req/s)\n",
 		len(all), sheds, errs, float64(len(all))/duration.Seconds())
 	fmt.Fprintf(w, "  latency:  mean=%v p50=%v p90=%v p99=%v max=%v\n",
 		(sum / time.Duration(len(all))).Round(time.Microsecond),
 		pct(all, 50).Round(time.Microsecond), pct(all, 90).Round(time.Microsecond),
 		pct(all, 99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
-	fmt.Fprintf(w, "  batcher:  %d batches, avg size %.2f (%d full, %d deadline flushes), %d degrades\n",
-		st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline, st.Degrades)
+	fmt.Fprintf(w, "  overload: %d sheds, %d degrades (server-side admission counters)\n",
+		st.Sheds, st.Degrades)
+	fmt.Fprintf(w, "  batcher:  %d batches, avg size %.2f (%d full, %d deadline flushes)\n",
+		st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
 	return nil
 }
 

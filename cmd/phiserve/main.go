@@ -19,6 +19,10 @@
 // backpressure, shed answers 429, degrade falls back to the scalar host
 // path inline.
 //
+// -precision f32 serves from float32 weight snapshots on the packed SIMD
+// host kernels instead of the simulated f64 device — lower latency, answers
+// within float32 rounding of the f64 path (training always stays f64).
+//
 // The built-in closed-loop load generator drives the same Server in
 // process and prints a throughput/latency report instead of listening:
 //
@@ -59,6 +63,7 @@ func main() {
 		maxWait  = flag.Duration("max-wait", time.Millisecond, "micro-batch flush deadline")
 		queue    = flag.Int("queue-depth", 0, "admission bound on queued requests (0 = 4x max-batch)")
 		policy   = flag.String("policy", "block", "full-queue policy: block | shed | degrade")
+		prec     = flag.String("precision", "f64", "forward-path numeric width: f64 (device path) | f32 (packed SIMD host kernels)")
 		seed     = flag.Uint64("seed", 1, "worker RNG seed (and fresh-weights seed without -checkpoint)")
 		collect  = flag.Bool("collect", true, "enable the internal metrics registry (feeds /metrics)")
 
@@ -72,7 +77,7 @@ func main() {
 
 	metrics.SetEnabled(*collect)
 	if err := run(*model, *ckpt, *visible, *hidden, *sizes, *tied, *gaussian,
-		*level, *arch, *cores, *workers, *pool, *maxBatch, *maxWait, *queue, *policy, *seed,
+		*level, *arch, *cores, *workers, *pool, *maxBatch, *maxWait, *queue, *policy, *prec, *seed,
 		*addr, *loadgen, *clients, *duration, *op); err != nil {
 		fmt.Fprintln(os.Stderr, "phiserve:", err)
 		os.Exit(1)
@@ -81,7 +86,7 @@ func main() {
 
 func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool,
 	levelName, archName string, cores, workers, pool, maxBatch int, maxWait time.Duration,
-	queue int, policyName string, seed uint64,
+	queue int, policyName, precName string, seed uint64,
 	addr string, loadgen bool, clients int, duration time.Duration, opName string) error {
 
 	m, err := buildModel(modelKind, ckpt, visible, hidden, sizesFlag, tied, gaussian, seed)
@@ -100,12 +105,16 @@ func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, ga
 	if err != nil {
 		return err
 	}
+	prec, err := pickPrecision(precName)
+	if err != nil {
+		return err
+	}
 	srv, err := phideep.NewServer(m, phideep.ServeConfig{
 		Arch: archDesc, Level: lvl, Cores: cores,
 		Workers: workers, PoolWorkers: pool,
 		MaxBatch: maxBatch, MaxWait: maxWait,
 		QueueDepth: queue, Policy: pol, Seed: seed,
-	})
+	}, phideep.WithPrecision(prec))
 	if err != nil {
 		return err
 	}
@@ -115,8 +124,8 @@ func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, ga
 		return runLoadgen(os.Stdout, srv, opName, clients, duration, maxWait, policyName, seed)
 	}
 
-	fmt.Printf("phiserve: %s model (%d inputs) on %s [%s], %d workers, batch<=%d wait<=%v policy=%s\n",
-		m.Kind(), m.InputDim(), archDesc.Name, lvl, workers, maxBatch, maxWait, pol)
+	fmt.Printf("phiserve: %s model (%d inputs) on %s [%s], %d workers, batch<=%d wait<=%v policy=%s precision=%s\n",
+		m.Kind(), m.InputDim(), archDesc.Name, lvl, workers, maxBatch, maxWait, pol, prec)
 	fmt.Printf("phiserve: listening on http://%s\n", addr)
 	return http.ListenAndServe(addr, newMux(srv, time.Now()))
 }
@@ -211,6 +220,17 @@ func pickPolicy(name string) (phideep.ServePolicy, error) {
 		return phideep.ServeDegrade, nil
 	default:
 		return 0, fmt.Errorf("unknown policy %q (want block, shed or degrade)", name)
+	}
+}
+
+func pickPrecision(name string) (phideep.Precision, error) {
+	switch name {
+	case "f64":
+		return phideep.PrecisionF64, nil
+	case "f32":
+		return phideep.PrecisionF32, nil
+	default:
+		return 0, fmt.Errorf("unknown precision %q (want f64 or f32)", name)
 	}
 }
 

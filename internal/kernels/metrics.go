@@ -20,6 +20,17 @@ var (
 	mGemmPathGo     = metrics.Default().Counter("kernels.gemm.path.go")
 	mGemmPathScalar = metrics.Default().Counter("kernels.gemm.path.scalar")
 
+	// The float32 inference GEMM records into its own precision-labeled
+	// family so f32-vs-f64 throughput and path mix can be compared from one
+	// /metrics snapshot.
+	mGemm32Calls   = metrics.Default().Counter("kernels.gemm32.calls")
+	mGemm32Flops   = metrics.Default().FloatCounter("kernels.gemm32.flops")
+	mGemm32Seconds = metrics.Default().Histogram("kernels.gemm32.seconds", metrics.ExpBuckets(1e-6, 4, 12)...)
+
+	mGemm32PathAsm    = metrics.Default().Counter("kernels.gemm32.path.asm")
+	mGemm32PathGo     = metrics.Default().Counter("kernels.gemm32.path.go")
+	mGemm32PathScalar = metrics.Default().Counter("kernels.gemm32.path.scalar")
+
 	mGemvCalls = metrics.Default().Counter("kernels.gemv.calls")
 
 	// Pack-arena pool behaviour: reuse means a pooled scratch buffer was

@@ -1,0 +1,117 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func sgemmKernel8x16(kc int, ap, bp, out *float32)
+//
+// 8×16 float32 C tile — double the rows and columns of the f64 kernel in
+// the same sixteen-YMM budget, because each register packs eight float32
+// lanes. The tile runs as two 4-row sweeps over the k loop (16 accumulators
+// would exhaust the register file in one pass): each sweep holds a 4×16
+// sub-tile in eight YMM accumulators — Y(2i) row i columns 0..7, Y(2i+1)
+// columns 8..15 — and per k step issues two packed loads of the shared B
+// lane, four broadcasts of its A rows and eight VFMADD231PS. The B panel is
+// re-read by the second sweep but is L1-resident (kc×16 floats ≤ 16 KiB).
+// The k-loop is 2-way unrolled; an odd kc runs one scalar tail step.
+TEXT ·sgemmKernel8x16(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), R11
+	MOVQ ap+8(FP), R9
+	MOVQ bp+16(FP), R10
+	MOVQ out+24(FP), DX
+	MOVQ $2, R8
+
+sweep:
+	MOVQ R11, CX
+	MOVQ R9, SI
+	MOVQ R10, DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	SUBQ $2, CX
+	JLT  tail
+
+loop:
+	// k step 0: B lane at DI, this sweep's four A rows at SI.
+	VMOVUPS      (DI), Y8
+	VMOVUPS      32(DI), Y9
+	VBROADCASTSS (SI), Y10
+	VBROADCASTSS 4(SI), Y11
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 8(SI), Y12
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS 12(SI), Y13
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+
+	// k step 1: ap advances 8 floats (32 bytes) and bp 16 floats (64
+	// bytes) per k.
+	VMOVUPS      64(DI), Y8
+	VMOVUPS      96(DI), Y9
+	VBROADCASTSS 32(SI), Y10
+	VBROADCASTSS 36(SI), Y11
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 40(SI), Y12
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS 44(SI), Y13
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+
+	ADDQ $64, SI
+	ADDQ $128, DI
+	SUBQ $2, CX
+	JGE  loop
+
+tail:
+	ADDQ $2, CX
+	JZ   store
+
+	VMOVUPS      (DI), Y8
+	VMOVUPS      32(DI), Y9
+	VBROADCASTSS (SI), Y10
+	VBROADCASTSS 4(SI), Y11
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 8(SI), Y12
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS 12(SI), Y13
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+
+store:
+	// Four 16-float rows of the sub-tile; out row stride is 64 bytes.
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+
+	// Second sweep: rows 4..7 — A lanes shift by four floats within each
+	// packed k step, the output window by four rows.
+	ADDQ $16, R9
+	ADDQ $256, DX
+	DECQ R8
+	JNZ  sweep
+
+	VZEROUPPER
+	RET

@@ -1,10 +1,12 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package kernels
 
-// useAsmKernel gates the assembly micro-kernel on runtime CPU support.
+// useAsmKernel gates the assembly micro-kernels on runtime CPU support.
 // Checked once at package init; both paths compute the same tile, the
-// assembly one with fused multiply-adds (single rounding per a·b+c).
+// assembly one with fused multiply-adds (single rounding per a·b+c). The
+// noasm build tag forces the pure-Go fallbacks so CI can gate them on
+// hardware that would otherwise always take the assembly path.
 var useAsmKernel = cpuSupportsAVX2FMA()
 
 // cpuSupportsAVX2FMA reports whether the CPU and OS support the AVX2+FMA
@@ -22,3 +24,15 @@ func cpuSupportsAVX2FMA() bool
 //
 //go:noescape
 func dgemmKernel4x8(kc int, ap, bp, out *float64)
+
+// sgemmKernel8x16 computes the 8×16 float32 register tile
+//
+//	out[ii*16+jj] = Σ_{l<kc} ap[l*8+ii] · bp[l*16+jj]
+//
+// with AVX2 fused multiply-adds — twice the rows and columns of the f64
+// tile, same register budget, because float32 packs eight lanes per YMM.
+// ap is a packed A sliver (k-major, 8-wide), bp a packed B micro-panel
+// (k-major, 16-wide), out a 128-element buffer. kc must be >= 1.
+//
+//go:noescape
+func sgemmKernel8x16(kc int, ap, bp, out *float32)

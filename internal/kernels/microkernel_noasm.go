@@ -1,10 +1,14 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package kernels
 
-// Non-amd64 builds always take the pure-Go micro-kernel.
+// Non-amd64 and -tags noasm builds always take the pure-Go micro-kernels.
 const useAsmKernel = false
 
 func dgemmKernel4x8(kc int, ap, bp, out *float64) {
-	panic("kernels: assembly micro-kernel not available on this architecture")
+	panic("kernels: assembly micro-kernel not available in this build")
+}
+
+func sgemmKernel8x16(kc int, ap, bp, out *float32) {
+	panic("kernels: assembly micro-kernel not available in this build")
 }

@@ -69,6 +69,10 @@ type counters struct {
 // BatcherStats is a point-in-time snapshot of the micro-batcher, returned
 // by Server.Stats.
 type BatcherStats struct {
+	// Precision names the worker forward path ("f64" or "f32"), so a
+	// metrics consumer can attribute the latency series to the numeric
+	// width that produced it.
+	Precision string
 	// Requests counts admitted requests; Completed those already answered
 	// by a worker (degraded answers count in Degrades only).
 	Requests  int64
@@ -98,6 +102,7 @@ type BatcherStats struct {
 // field is read atomically; the set is not a single atomic cut).
 func (s *Server) Stats() BatcherStats {
 	st := BatcherStats{
+		Precision:     s.cfg.Precision.String(),
 		Requests:      s.st.requests.Load(),
 		Completed:     s.st.completed.Load(),
 		Batches:       s.st.batches.Load(),

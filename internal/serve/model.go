@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"phideep/internal/autoencoder"
 	"phideep/internal/core"
@@ -34,6 +35,29 @@ type Model struct {
 	ae *autoencoder.Params
 	rb *rbm.Params
 	ml *mlp.Params
+
+	// Float32 weight snapshots for Precision F32, converted lazily (first
+	// worker that needs them) and exactly once, then shared read-only by
+	// every reduced-precision replica.
+	once32 sync.Once
+	ae32   *autoencoder.Params32
+	rb32   *rbm.Params32
+	ml32   *mlp.Params32
+}
+
+// convert32 rounds the model's parameters to float32 once; subsequent calls
+// are free. The snapshot is immutable like the f64 parameters it mirrors.
+func (m *Model) convert32() {
+	m.once32.Do(func() {
+		switch m.kind {
+		case kindAE:
+			m.ae32 = m.ae.To32()
+		case kindRBM:
+			m.rb32 = m.rb.To32()
+		default:
+			m.ml32 = m.ml.To32()
+		}
+	})
 }
 
 // Autoencoder wraps autoencoder parameters for serving (Encode and

@@ -17,6 +17,14 @@
 // packages' NewInference constructors, running the exact blas/kernels
 // forward path of training at any core OptLevel.
 //
+// At Config.Precision F32 the workers skip the simulated device and run
+// the reduced-precision host path instead: one float32 weight snapshot is
+// converted per model (lazily, shared read-only) and each worker executes
+// the packed f32 kernels with a private activation workspace. The request
+// and response surface stays []float64 — rounding happens at the staging
+// boundary — and answers differ from the f64 path only by float32
+// rounding, bounded by the cross-precision equivalence suite.
+//
 // Admission is controlled by a bounded queue of Config.QueueDepth
 // not-yet-dispatched requests. When the queue is full the configured
 // Policy applies: Block waits for space, Shed fails fast with
@@ -109,6 +117,32 @@ func (p Policy) String() string {
 	}
 }
 
+// Precision selects the numeric width of the worker forward path.
+type Precision int
+
+const (
+	// F64 (the default) runs the same float64 device path as training.
+	F64 Precision = iota
+	// F32 runs the reduced-precision host path: workers hold float32
+	// weight snapshots (converted copy-on-load) and execute the packed f32
+	// kernels directly — double the SIMD lanes per FMA, half the memory
+	// traffic. Requests and responses stay []float64 at the API surface;
+	// rounding happens at the staging boundary. The Degrade fallback
+	// remains the f64 scalar host reference.
+	F32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
 // ErrOverloaded is returned by serving calls under the Shed policy when
 // the admission queue is full.
 var ErrOverloaded = errors.New("serve: overloaded")
@@ -147,6 +181,12 @@ type Config struct {
 	QueueDepth int
 	// Policy is the full-queue behavior (Block by default).
 	Policy Policy
+	// Precision is the numeric width of the worker forward path: F64 (the
+	// default) serves on the simulated device exactly as trained; F32
+	// serves from float32 weight snapshots on the packed f32 host kernels,
+	// trading ~1e-6-grade per-element differences (see the equivalence
+	// suite) for raw latency.
+	Precision Precision
 	// Seed seeds each worker context's RNG stream (worker i gets
 	// Seed + i). Inference paths draw no samples, so this matters only
 	// for diagnostics.
@@ -188,6 +228,11 @@ func (c *Config) fillDefaults() error {
 	case Block, Shed, Degrade:
 	default:
 		return fmt.Errorf("serve: unknown policy %d", int(c.Policy))
+	}
+	switch c.Precision {
+	case F64, F32:
+	default:
+		return fmt.Errorf("serve: unknown precision %d", int(c.Precision))
 	}
 	return nil
 }

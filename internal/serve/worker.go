@@ -13,10 +13,17 @@ import (
 	"phideep/internal/tensor"
 )
 
-// worker owns one simulated device (devices are not safe for concurrent
-// use) with a forward-only model replica and executes homogeneous request
-// batches on it. All workers share the server's immutable Model snapshot
-// read-only; each uploads its own device copy at construction.
+// worker executes homogeneous request batches on one of two forward paths,
+// fixed at construction by Config.Precision:
+//
+//   - F64: a private simulated device (devices are not safe for concurrent
+//     use) with a forward-only model replica, the exact path training ran.
+//   - F32: the reduced-precision host path — a float32 inference replica
+//     running the packed f32 kernels directly on the worker's pool, no
+//     device in the loop. Weights are the model's shared f32 snapshot;
+//     activations are private.
+//
+// All workers share the server's immutable Model snapshot read-only.
 type worker struct {
 	s    *Server
 	ctx  *blas.Context
@@ -26,26 +33,49 @@ type worker struct {
 	rb *rbm.Model
 	ml *mlp.Model
 
+	ae32 *autoencoder.Inference32
+	rb32 *rbm.Inference32
+	ml32 *mlp.Inference32
+
 	// x is the staging input buffer, MaxBatch×InputDim; partial batches
 	// compute on its [0,n) row view. stage is its host mirror — CopyIn
 	// transfers whole buffers, so short batches ride in with stale tail
-	// rows that the sliced forward pass never reads.
-	x     *device.Buffer
-	stage *tensor.Matrix
+	// rows that the sliced forward pass never reads. stage32 plays the
+	// same staging role for the f32 path, with the float64→float32
+	// rounding folded into the row copy.
+	x       *device.Buffer
+	stage   *tensor.Matrix
+	stage32 *tensor.Matrix32
 }
 
-// newWorker builds worker i: private pool (optional), device, context and
-// inference replica.
+// newWorker builds worker i: private pool (optional), then either the
+// device-resident f64 replica or the host-side f32 replica.
 func newWorker(s *Server, i int) (*worker, error) {
 	w := &worker{s: s}
 	cfg := s.cfg
 	if cfg.PoolWorkers > 0 {
 		w.pool = parallel.NewPool(cfg.PoolWorkers)
 	}
+	m := s.model
+
+	if cfg.Precision == F32 {
+		m.convert32()
+		lvl := cfg.Level.KernelLevel()
+		switch m.kind {
+		case kindAE:
+			w.ae32 = autoencoder.NewInference32(w.pool, lvl, m.aeCfg, cfg.MaxBatch, m.ae32)
+		case kindRBM:
+			w.rb32 = rbm.NewInference32(w.pool, lvl, m.rbmCfg, cfg.MaxBatch, m.rb32)
+		default:
+			w.ml32 = mlp.NewInference32(w.pool, lvl, m.mlpCfg, cfg.MaxBatch, m.ml32)
+		}
+		w.stage32 = tensor.NewMatrix32(cfg.MaxBatch, m.InputDim())
+		return w, nil
+	}
+
 	dev := device.New(cfg.Arch, true, w.pool)
 	w.ctx = core.NewContext(dev, cfg.Level, cfg.Cores, cfg.Seed+uint64(i))
 
-	m := s.model
 	var err error
 	switch m.kind {
 	case kindAE:
@@ -78,15 +108,19 @@ func (w *worker) loop() {
 		w.s.notFull.Broadcast()
 		recordQueueDepth(w.s.queued)
 		w.s.mu.Unlock()
-		w.run(batch)
+		if w.stage32 != nil {
+			w.run32(batch)
+		} else {
+			w.run(batch)
+		}
 	}
 }
 
-// run executes one homogeneous batch: stage the rows, one CopyIn, the
-// batched device forward pass on the [0,n) view, one CopyOut, then
-// complete every request. Per-row results are independent of the batch
-// composition (GEMM partitions and reduces per output row), so coalescing
-// never changes an answer bit.
+// run executes one homogeneous batch on the f64 device path: stage the
+// rows, one CopyIn, the batched device forward pass on the [0,n) view, one
+// CopyOut, then complete every request. Per-row results are independent of
+// the batch composition (GEMM partitions and reduces per output row), so
+// coalescing never changes an answer bit.
 func (w *worker) run(batch []*request) {
 	op := batch[0].op
 	n := len(batch)
@@ -120,18 +154,69 @@ func (w *worker) run(batch []*request) {
 
 	res := tensor.NewMatrix(n, out.Cols)
 	dev.CopyOut(out, res)
+	w.complete64(batch, res)
+}
+
+// run32 executes one homogeneous batch on the reduced-precision host path.
+// Inputs round to float32 as they stage; the forward pass runs the packed
+// f32 kernels on the worker's pool; outputs widen back to float64 on
+// completion, so callers see the same []float64 surface as the f64 path.
+// As with the device path, per-row results are batch-composition
+// independent and bit-deterministic for a fixed worker pool size.
+func (w *worker) run32(batch []*request) {
+	op := batch[0].op
+	n := len(batch)
+	for i, r := range batch {
+		tensor.Round32(w.stage32.RowView(i), r.in)
+	}
+	xv := w.stage32.RowsView(0, n)
+
+	var out *tensor.Matrix32
+	switch {
+	case w.ae32 != nil:
+		if op == OpEncode {
+			out = w.ae32.Encode(xv)
+		} else {
+			out = w.ae32.Reconstruct(xv)
+		}
+	case w.rb32 != nil:
+		if op == OpEncode {
+			out = w.rb32.Encode(xv)
+		} else {
+			out = w.rb32.Reconstruct(xv)
+		}
+	default:
+		out = w.ml32.Infer(xv)
+	}
+
 	now := time.Now()
 	for i, r := range batch {
-		r.out = append([]float64(nil), res.RowView(i)...)
-		lat := now.Sub(r.enq)
-		w.s.st.completed.Add(1)
-		w.s.st.latencyNanos.Add(lat.Nanoseconds())
-		recordLatency(lat)
-		close(r.done)
+		r.out = make([]float64, out.Cols)
+		tensor.Widen64(r.out, out.RowView(i))
+		w.finish(r, now)
 	}
 }
 
-// free releases the worker's device resources and pool.
+// complete64 copies the device results out to the batch's requests.
+func (w *worker) complete64(batch []*request, res *tensor.Matrix) {
+	now := time.Now()
+	for i, r := range batch {
+		r.out = append([]float64(nil), res.RowView(i)...)
+		w.finish(r, now)
+	}
+}
+
+// finish closes out one answered request and records its latency.
+func (w *worker) finish(r *request, now time.Time) {
+	lat := now.Sub(r.enq)
+	w.s.st.completed.Add(1)
+	w.s.st.latencyNanos.Add(lat.Nanoseconds())
+	recordLatency(lat)
+	close(r.done)
+}
+
+// free releases the worker's device resources and pool. The f32 path holds
+// no device; its replicas are plain host memory.
 func (w *worker) free() {
 	if w.ae != nil {
 		w.ae.Free()
@@ -149,6 +234,7 @@ func (w *worker) free() {
 		w.ctx.Dev.Free(w.x)
 		w.x = nil
 	}
+	w.ae32, w.rb32, w.ml32 = nil, nil, nil
 	if w.pool != nil {
 		w.pool.Close()
 		w.pool = nil

@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix32 is the float32 counterpart of Matrix: dense, row-major, with an
+// explicit stride so views work the same way. It exists for the reduced-
+// precision inference path — halving the element width doubles the SIMD
+// lanes per FMA and halves memory traffic — and deliberately mirrors only
+// the subset of the Matrix API the forward-only kernels need. Training math
+// stays float64.
+type Matrix32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed r×c float32 matrix.
+func NewMatrix32(r, c int) *Matrix32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix32(%d, %d): negative dimension", r, c))
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: c, Data: make([]float32, r*c)}
+}
+
+// FromSlice32 wraps data (row-major, length r*c) as an r×c matrix without
+// copying.
+func FromSlice32(r, c int, data []float32) *Matrix32 {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice32(%d, %d): need %d elements, got %d", r, c, r*c, len(data)))
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix32) At(i, j int) float32 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d, %d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix32) Set(i, j int, v float32) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d, %d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.Data[i*m.Stride+j] = v
+}
+
+// RowView returns row i as a slice sharing the matrix's storage.
+func (m *Matrix32) RowView(i int) []float32 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// RowsView returns rows [i, j) as a matrix view sharing storage with m.
+func (m *Matrix32) RowsView(i, j int) *Matrix32 {
+	if i < 0 || j < i || j > m.Rows {
+		panic(fmt.Sprintf("tensor: rows [%d, %d) out of range %d", i, j, m.Rows))
+	}
+	return &Matrix32{Rows: j - i, Cols: m.Cols, Stride: m.Stride, Data: m.Data[i*m.Stride:]}
+}
+
+// Clone returns a packed deep copy of m.
+func (m *Matrix32) Clone() *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.RowView(i), m.RowView(i))
+	}
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix32) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		clear(m.RowView(i))
+	}
+}
+
+// T returns a packed transpose copy of m.
+func (m *Matrix32) T() *Matrix32 {
+	out := NewMatrix32(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			out.Data[j*out.Stride+i] = v
+		}
+	}
+	return out
+}
+
+// To64 widens m to a float64 Matrix (exact: every float32 is representable).
+func (m *Matrix32) To64() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.RowView(i), out.RowView(i)
+		for j, v := range src {
+			dst[j] = float64(v)
+		}
+	}
+	return out
+}
+
+// To32 narrows m to a float32 Matrix32, rounding each element to nearest.
+// This is the copy-on-load conversion of the reduced-precision serving path.
+func (m *Matrix) To32() *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.RowView(i), out.RowView(i)
+		for j, v := range src {
+			dst[j] = float32(v)
+		}
+	}
+	return out
+}
+
+// Vector32 is a dense float32 vector; the float32 counterpart of Vector.
+type Vector32 []float32
+
+// NewVector32 allocates a zeroed length-n vector.
+func NewVector32(n int) Vector32 {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: NewVector32(%d): negative length", n))
+	}
+	return make(Vector32, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector32) Clone() Vector32 {
+	out := make(Vector32, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element to 0.
+func (v Vector32) Zero() { clear(v) }
+
+// To64 widens v to a float64 Vector.
+func (v Vector32) To64() Vector {
+	out := NewVector(len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// To32 narrows v to a float32 Vector32, rounding each element to nearest.
+func (v Vector) To32() Vector32 {
+	out := NewVector32(len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// Round32 narrows every element of a float64 row to float32 in place of
+// dst: dst[j] = float32(src[j]). Lengths must match. This is the staging
+// boundary conversion of the serving path.
+func Round32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Round32 length mismatch: %d vs %d", len(dst), len(src)))
+	}
+	for j, v := range src {
+		dst[j] = float32(v)
+	}
+}
+
+// Widen64 widens a float32 row into a float64 slice: dst[j] = float64(src[j]).
+func Widen64(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Widen64 length mismatch: %d vs %d", len(dst), len(src)))
+	}
+	for j, v := range src {
+		dst[j] = float64(v)
+	}
+}
+
+// MaxAbsDiff32 returns the largest absolute elementwise difference between
+// the float32 matrix a and the float64 matrix b, computed in float64 — the
+// measure the cross-precision equivalence tests bound.
+func MaxAbsDiff32(a *Matrix32, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff32 shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	max := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.RowView(i), b.RowView(i)
+		for j := range ra {
+			if d := math.Abs(float64(ra[j]) - rb[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

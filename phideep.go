@@ -200,6 +200,9 @@ type (
 	// ServeOp identifies a serving operation (encode, reconstruct,
 	// predict).
 	ServeOp = serve.Op
+	// Precision selects the numeric width of the serving forward path
+	// (PrecisionF64, PrecisionF32).
+	Precision = serve.Precision
 	// BatcherStats is a point-in-time snapshot of the micro-batcher,
 	// returned by (*Server).Stats.
 	BatcherStats = serve.BatcherStats
@@ -240,6 +243,17 @@ const (
 	ServeShed = serve.Shed
 	// ServeDegrade answers inline from the scalar host reference path.
 	ServeDegrade = serve.Degrade
+)
+
+// Serving numeric widths (ServeConfig.Precision).
+const (
+	// PrecisionF64 serves on the float64 device path, exactly as trained.
+	PrecisionF64 = serve.F64
+	// PrecisionF32 serves from float32 weight snapshots on the packed f32
+	// host kernels — double the SIMD lanes, half the memory traffic, with
+	// answers within float32 rounding of the f64 path. Training is always
+	// float64; only the forward serving pass narrows.
+	PrecisionF32 = serve.F32
 )
 
 // ErrOverloaded is returned by serving calls under ServeShed when the
@@ -441,11 +455,27 @@ func NewHybridAE(phiCtx, hostCtx *Context, cfg HybridAEConfig, seed uint64) (*Hy
 	return hybrid.BuildAE(phiCtx, hostCtx, cfg)
 }
 
+// ServeOption adjusts a ServeConfig in NewServer. Options compose left to
+// right after the explicit config, so they win over its field values:
+//
+//	phideep.NewServer(m, cfg, phideep.WithPrecision(phideep.PrecisionF32))
+type ServeOption func(*ServeConfig)
+
+// WithPrecision selects the numeric width of the serving forward path
+// (ServeConfig.Precision): PrecisionF64 replays the training path on the
+// simulated device, PrecisionF32 runs the reduced-precision host kernels.
+func WithPrecision(p Precision) ServeOption {
+	return func(c *ServeConfig) { c.Precision = p }
+}
+
 // NewServer builds an online inference server over a ServeModel: Workers
 // device-bound replicas behind a dynamic micro-batcher with admission
 // control. See ServeConfig for the knobs and cmd/phiserve for the HTTP
 // front-end.
-func NewServer(m *ServeModel, cfg ServeConfig) (*Server, error) {
+func NewServer(m *ServeModel, cfg ServeConfig, opts ...ServeOption) (*Server, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return serve.New(m, cfg)
 }
 
