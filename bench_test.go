@@ -348,6 +348,72 @@ func BenchmarkKernelGemm512F32(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelConvIm2col measures the im2col-lowered convolution forward
+// (lowering + packed GEMM) at each optimization level on a LeNet-scale
+// layer: batch 32 of 16×16×6 maps, 12 filters of 5×5, stride 1, same pad —
+// the conv workload DESIGN.md §12 lowers onto the GEMM ladder. GFLOP/s
+// counts the GEMM flops only (2·M·K·N with M=batch·outHW, K=KH·KW·C, N=F);
+// the lowering overhead shows up as the gap to BenchmarkKernelGemm at the
+// same level.
+func BenchmarkKernelConvIm2col(b *testing.B) {
+	s := kernels.ConvShape{C: 6, H: 16, W: 16, F: 12, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	const batch = 32
+	r := rng.New(4)
+	x := tensor.NewMatrix(batch, s.InDim()).Randomize(r, 0, 1)
+	w := tensor.NewMatrix(s.ColK(), s.F).Randomize(r, -0.1, 0.1)
+	m := batch * s.OutH() * s.OutW()
+	cols := tensor.NewMatrix(m, s.ColK())
+	y := tensor.NewMatrix(m, s.F)
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	for _, lvl := range kernels.Levels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kernels.Im2col(pool, lvl, s, batch, x, cols)
+				kernels.Gemm(pool, lvl, false, false, 1, cols, w, 0, y)
+			}
+			reportGflops(b, m, s.ColK(), s.F)
+		})
+	}
+}
+
+// BenchmarkConvnetTrainingStep measures one real numeric convnet SGD step
+// (16×16 inputs, 6/12-filter conv stack, batch 32) end to end on the
+// simulated Phi through the public API — the supervised counterpart of
+// BenchmarkNumericTrainingStep, and the per-step number behind the
+// EXPERIMENTS.md convnet epoch-time table.
+func BenchmarkConvnetTrainingStep(b *testing.B) {
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric())
+	b.Cleanup(mach.Close)
+	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 1)
+	cfg := phideep.ConvnetConfig{
+		Side: 16, Filters1: 6, Kernel1: 5, Filters2: 12, Kernel2: 3,
+		Pool: 2, Classes: 10, Lambda: 1e-4, Batch: 32, Seed: 2,
+	}
+	m, err := phideep.BuildConvnet(ctx, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(6)
+	x := tensor.NewMatrix(32, cfg.InputDim()).Randomize(r, 0, 1)
+	y := tensor.NewMatrix(32, cfg.Classes)
+	for i := 0; i < 32; i++ {
+		y.RowView(i)[r.Intn(cfg.Classes)] = 1
+	}
+	dx := mach.Dev.MustAlloc(32, cfg.InputDim())
+	dy := mach.Dev.MustAlloc(32, cfg.Classes)
+	mach.Dev.CopyIn(dx, x, 0)
+	mach.Dev.CopyIn(dy, y, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StepLabeled(dx, dy, 0.1)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(32*float64(b.N)/sec, "examples/s")
+	}
+}
+
 // BenchmarkServeEncode measures served Encode throughput through the full
 // micro-batching stack at each precision (examples/s), with enough
 // concurrent clients to keep the batcher coalescing. The f64/f32 ratio is

@@ -27,13 +27,15 @@ go vet ./...
 go build ./...
 go test ./...
 # The pure-Go micro-kernel fallbacks (f64 and f32) must stay correct on
-# their own: re-run the kernel suite with the assembly path compiled out.
-go test -tags noasm ./internal/kernels/...
+# their own: re-run the kernel suite — and the convnet built on the
+# lowered GEMM — with the assembly path compiled out.
+go test -tags noasm ./internal/kernels/... ./internal/convnet/...
 # core and stack carry the fault-injection, checkpoint/resume and chunk
 # prefetch tests, which overlap the loading goroutine with training; the
 # cluster package rides along for its checkpoint-handoff paths; serve is
-# the micro-batcher + worker pool (the ISSUE's race-detector target).
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/...
+# the micro-batcher + worker pool; convnet runs its conv kernels across
+# varying pool sizes (the bit-determinism-across-workers tests).
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/... ./internal/convnet/...
 # Determinism spot-check: the crash/rejoin/resync scenario must produce the
 # identical ledger on back-to-back runs (fault injection is seeded, never
 # wall-clock dependent).
@@ -41,3 +43,14 @@ go test -run TestClusterRecovery -count=2 ./internal/cluster/
 # Serving smoke: the closed-loop load generator must sustain concurrent
 # clients against the in-process server and print a latency report.
 go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 -duration 2s
+# Convnet train-then-serve smoke: train on labeled digits, export a PHCK
+# checkpoint, and serve /predict from it through the load generator (the
+# geometry flags must match between the two commands).
+ckpt=$(mktemp -u /tmp/ci-convnet-XXXXXX.phck)
+go run ./cmd/phitrain -model convnet -data digits -side 8 -examples 256 \
+    -batch 16 -epochs 1 -classes 10 -filters1 3 -kernel1 3 -filters2 4 \
+    -kernel2 3 -export "$ckpt"
+go run ./cmd/phiserve -model convnet -side 8 -classes 10 -filters1 3 \
+    -kernel1 3 -filters2 4 -kernel2 3 -checkpoint "$ckpt" \
+    -loadgen -clients 4 -duration 2s
+rm -f "$ckpt"

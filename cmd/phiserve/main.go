@@ -11,9 +11,15 @@
 //	curl -s localhost:8080/metrics
 //
 // Endpoints: POST /encode, /reconstruct (autoencoder, RBM) and /predict
-// (MLP) take {"input":[...]} and answer {"output":[...]}; GET /metrics
-// returns the batcher stats plus the metrics registry snapshot; GET
-// /healthz reports the served model.
+// (MLP, convnet) take {"input":[...]} and answer {"output":[...]}; GET
+// /metrics returns the batcher stats plus the metrics registry snapshot;
+// GET /healthz reports the served model.
+//
+// Convnet checkpoints carry no geometry, so the -side/-filters*/-kernel*/
+// -pool/-classes flags must repeat the training geometry:
+//
+//	phitrain -model convnet -side 16 -epochs 5 -export cnn.phck
+//	phiserve -model convnet -side 16 -checkpoint cnn.phck
 //
 // Overload responses follow the admission policy (-policy): block applies
 // backpressure, shed answers 429, degrade falls back to the scalar host
@@ -46,13 +52,21 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "ae", "ae | rbm | mlp")
+		model    = flag.String("model", "ae", "ae | rbm | mlp | convnet")
 		ckpt     = flag.String("checkpoint", "", "PHCK checkpoint to serve (phitrain -export / -checkpoint); fresh seeded weights if empty")
 		visible  = flag.Int("visible", 256, "input units (ae/rbm)")
 		hidden   = flag.Int("hidden", 64, "hidden units (ae/rbm)")
 		sizes    = flag.String("sizes", "", "comma-separated MLP layer sizes, input first (e.g. 256,64,10)")
 		tied     = flag.Bool("tied", false, "decoder weights tied to the encoder (ae; must match training)")
 		gaussian = flag.Bool("gaussian", false, "Gaussian visible units (rbm; must match training)")
+
+		side     = flag.Int("side", 16, "convnet: input image side (must match training)")
+		filters1 = flag.Int("filters1", 6, "convnet: first conv layer filter count (must match training)")
+		kernel1  = flag.Int("kernel1", 5, "convnet: first conv kernel side (must match training)")
+		filters2 = flag.Int("filters2", 12, "convnet: second conv layer filter count (must match training)")
+		kernel2  = flag.Int("kernel2", 3, "convnet: second conv kernel side (must match training)")
+		poolSz   = flag.Int("pool", 2, "convnet: max-pooling window/stride (must match training)")
+		classes  = flag.Int("classes", 10, "convnet: output classes (must match training)")
 
 		level    = flag.String("level", "improved", "baseline | openmp | mkl | improved")
 		arch     = flag.String("arch", "phi", "phi | cpu1 | cpu4 | cpu8 | matlab")
@@ -76,7 +90,11 @@ func main() {
 	flag.Parse()
 
 	metrics.SetEnabled(*collect)
-	if err := run(*model, *ckpt, *visible, *hidden, *sizes, *tied, *gaussian,
+	conv := phideep.ConvnetConfig{
+		Side: *side, Filters1: *filters1, Kernel1: *kernel1,
+		Filters2: *filters2, Kernel2: *kernel2, Pool: *poolSz, Classes: *classes,
+	}
+	if err := run(*model, *ckpt, *visible, *hidden, *sizes, *tied, *gaussian, conv,
 		*level, *arch, *cores, *workers, *pool, *maxBatch, *maxWait, *queue, *policy, *prec, *seed,
 		*addr, *loadgen, *clients, *duration, *op); err != nil {
 		fmt.Fprintln(os.Stderr, "phiserve:", err)
@@ -85,11 +103,12 @@ func main() {
 }
 
 func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool,
+	conv phideep.ConvnetConfig,
 	levelName, archName string, cores, workers, pool, maxBatch int, maxWait time.Duration,
 	queue int, policyName, precName string, seed uint64,
 	addr string, loadgen bool, clients int, duration time.Duration, opName string) error {
 
-	m, err := buildModel(modelKind, ckpt, visible, hidden, sizesFlag, tied, gaussian, seed)
+	m, err := buildModel(modelKind, ckpt, visible, hidden, sizesFlag, tied, gaussian, conv, seed)
 	if err != nil {
 		return err
 	}
@@ -133,7 +152,7 @@ func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, ga
 // buildModel snapshots the parameters to serve: loaded from a PHCK
 // checkpoint when -checkpoint is set, else freshly seeded (useful for
 // latency experiments, where the weights' values are irrelevant).
-func buildModel(kind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool, seed uint64) (*phideep.ServeModel, error) {
+func buildModel(kind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool, conv phideep.ConvnetConfig, seed uint64) (*phideep.ServeModel, error) {
 	switch kind {
 	case "ae":
 		cfg := phideep.AutoencoderConfig{Visible: visible, Hidden: hidden, Tied: tied, Seed: seed}
@@ -157,8 +176,17 @@ func buildModel(kind, ckpt string, visible, hidden int, sizesFlag string, tied, 
 			return phideep.ServeMLPCheckpoint(cfg, ckpt)
 		}
 		return phideep.ServeMLP(cfg, nil), nil
+	case "convnet":
+		conv.Seed = seed
+		if err := conv.Validate(); err != nil {
+			return nil, err
+		}
+		if ckpt != "" {
+			return phideep.ServeConvnetCheckpoint(conv, ckpt)
+		}
+		return phideep.ServeConvnet(conv, nil), nil
 	default:
-		return nil, fmt.Errorf("unknown model %q (want ae, rbm or mlp)", kind)
+		return nil, fmt.Errorf("unknown model %q (want ae, rbm, mlp or convnet)", kind)
 	}
 }
 

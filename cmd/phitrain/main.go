@@ -1,11 +1,13 @@
-// Command phitrain trains a Sparse Autoencoder, an RBM, or a greedy stack
-// of either on a simulated platform, streaming a synthetic dataset through
-// the paper's chunked loading pipeline.
+// Command phitrain trains a Sparse Autoencoder, an RBM, a small im2col
+// convnet, or a greedy stack of AEs/RBMs on a simulated platform, streaming
+// a synthetic dataset through the paper's chunked loading pipeline.
 //
 // Examples:
 //
 //	phitrain -model ae -data digits -side 16 -hidden 64 -epochs 5
 //	phitrain -model rbm -data digits -side 16 -hidden 100 -epochs 3
+//	phitrain -model convnet -data digits -side 16 -classes 10 -epochs 5 \
+//	         -export convnet.phck                          # then phiserve
 //	phitrain -model stack -sizes 256,64,16 -data natural -side 16
 //	phitrain -model ae -numeric=false -visible 1024 -hidden 4096 \
 //	         -examples 1000000 -batch 1000 -epochs 1     # timing only
@@ -41,7 +43,7 @@ import (
 
 func main() {
 	var (
-		modelKind = flag.String("model", "ae", "ae | rbm | stack (stacked autoencoders) | dbn (stacked RBMs)")
+		modelKind = flag.String("model", "ae", "ae | rbm | convnet | stack (stacked autoencoders) | dbn (stacked RBMs)")
 		dataKind  = flag.String("data", "digits", "digits | natural | null")
 		side      = flag.Int("side", 16, "image/patch side length (dim = side^2) for synthetic data")
 		visible   = flag.Int("visible", 0, "input units (default side^2)")
@@ -77,6 +79,13 @@ func main() {
 		resume     = flag.String("resume", "", "resume training from this checkpoint file (starts fresh if the file does not exist)")
 		export     = flag.String("export", "", "write the final trained model as a PHCK checkpoint to this file (ae/rbm; works without -checkpoint; phiserve loads it)")
 
+		filters1 = flag.Int("filters1", 6, "convnet: first conv layer filter count")
+		kernel1  = flag.Int("kernel1", 5, "convnet: first conv kernel side (odd)")
+		filters2 = flag.Int("filters2", 12, "convnet: second conv layer filter count")
+		kernel2  = flag.Int("kernel2", 3, "convnet: second conv kernel side (odd)")
+		poolSz   = flag.Int("pool", 2, "convnet: max-pooling window/stride (applied twice)")
+		classes  = flag.Int("classes", 10, "convnet: output classes")
+
 		faultRate    = flag.Float64("fault-rate", 0, "per-attempt PCIe transfer fault probability [0,1) — 0 disables the fault model")
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed of the deterministic fault stream")
 		faultPerm    = flag.Float64("fault-permanent", 0, "fraction of faults that are permanent (non-retryable) [0,1]")
@@ -92,6 +101,8 @@ func main() {
 	}
 	opts := options{momentum: *momentum, corruption: *corrupt, tied: *tied,
 		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive,
+		filters1: *filters1, kernel1: *kernel1, filters2: *filters2,
+		kernel2: *kernel2, pool: *poolSz, classes: *classes,
 		metricsPath: *metricsTo, stats: *stats,
 		checkpoint: *checkpoint, checkpointEvery: *ckptEvery, resume: *resume, export: *export,
 		faultRate: *faultRate, faultSeed: *faultSeed,
@@ -165,6 +176,10 @@ func (s nullSource) Dim() int                                { return s.d }
 func (s nullSource) Len() int                                { return s.n }
 func (s nullSource) Chunk(start, n int, dst *phideep.Matrix) {}
 
+// Label satisfies LabeledSource so timing-only convnet runs work; the
+// trainer never reads labels on a timing-only device.
+func (s nullSource) Label(idx int) int { return 0 }
+
 // options bundles the model-variant, fault-tolerance and observability
 // switches.
 type options struct {
@@ -173,8 +188,14 @@ type options struct {
 	gaussian             bool
 	shuffle              bool
 	adaptive             bool
-	metricsPath          string // -metrics: JSON run-report destination
-	stats                bool   // -stats: print the registry table at exit
+
+	// convnet geometry (-model convnet)
+	filters1, kernel1 int
+	filters2, kernel2 int
+	pool, classes     int
+
+	metricsPath string // -metrics: JSON run-report destination
+	stats       bool   // -stats: print the registry table at exit
 
 	checkpoint      string // -checkpoint: crash-consistent snapshot file (stack: base path)
 	checkpointEvery int    // -checkpoint-every: cadence in chunks
@@ -315,6 +336,56 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		}
 		return nil
 
+	case "convnet":
+		if opts.shuffle {
+			// Shuffled wraps only the unlabeled Source surface, so labels
+			// would desynchronize from their images.
+			return fmt.Errorf("-shuffle is not supported with -model convnet")
+		}
+		lsrc, ok := src.(phideep.LabeledSource)
+		if !ok {
+			return fmt.Errorf("convnet needs labeled data: -data digits (or null for timing-only), not %q", dataKind)
+		}
+		ccfg := phideep.ConvnetConfig{
+			Side: side, Filters1: opts.filters1, Kernel1: opts.kernel1,
+			Filters2: opts.filters2, Kernel2: opts.kernel2,
+			Pool: opts.pool, Classes: opts.classes,
+			Lambda: lambda, Momentum: opts.momentum, Batch: batch, Seed: seed,
+		}
+		model, err := phideep.BuildConvnet(ctx, ccfg)
+		if err != nil {
+			return err
+		}
+		if err := enableFaults(mach.Dev, opts); err != nil {
+			return err
+		}
+		trainer := &phideep.Trainer{Dev: mach.Dev, Cfg: tc}
+		res, err := trainer.RunLabeled(model, lsrc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("convnet %dx%d c%d/k%d c%d/k%d p%d -> %d classes on %s [%s]\n",
+			side, side, opts.filters1, opts.kernel1, opts.filters2, opts.kernel2,
+			opts.pool, opts.classes, archDesc.Name, lvl)
+		printResult(res, numeric)
+		if opts.export != "" {
+			if err := exportModel(opts.export, model, res); err != nil {
+				return err
+			}
+			fmt.Printf("  exported final model: %s\n", opts.export)
+		}
+		if opts.metricsPath != "" {
+			rep := &runReport{Model: modelKind, Data: dataKind, Arch: archName, Level: levelName, Numeric: numeric}
+			rep.fillResult(res)
+			if err := writeReport(opts.metricsPath, rep); err != nil {
+				return err
+			}
+		}
+		if opts.stats {
+			printSummary()
+		}
+		return nil
+
 	case "stack", "dbn":
 		if opts.export != "" {
 			return fmt.Errorf("-export supports single-layer models (ae/rbm); use -checkpoint for per-layer %s snapshots", modelKind)
@@ -371,7 +442,9 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 // exportModel writes the trained model as a final PHCK checkpoint — the
 // same container the periodic -checkpoint snapshots use, so phiserve (and
 // -resume) can load it — without requiring checkpointing during the run.
-func exportModel(path string, model phideep.Trainable, res *phideep.TrainResult) error {
+// It accepts any model family (Trainable or LabeledTrainable) that can
+// serialize itself.
+func exportModel(path string, model any, res *phideep.TrainResult) error {
 	ck, ok := model.(phideep.Checkpointer)
 	if !ok {
 		return fmt.Errorf("-export: %T cannot serialize its state", model)

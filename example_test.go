@@ -14,9 +14,9 @@ func Example() {
 	defer mach.Close()
 	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 42)
 
-	ae, err := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
-		Visible: 64, Hidden: 16, Lambda: 1e-5,
-	}, 20, 1)
+	ae, err := phideep.BuildAutoencoder(ctx, phideep.AutoencoderConfig{
+		Visible: 64, Hidden: 16, Lambda: 1e-5, Batch: 20, Seed: 1,
+	})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -43,9 +43,9 @@ func ExampleOptLevel() {
 	timeAt := func(lvl phideep.OptLevel) float64 {
 		mach := phideep.NewMachine(phideep.XeonPhi5110P())
 		ctx := phideep.NewContext(mach.Dev, lvl, 0, 1)
-		ae, _ := phideep.NewAutoencoder(ctx, phideep.AutoencoderConfig{
-			Visible: 1024, Hidden: 4096,
-		}, 1000, 1)
+		ae, _ := phideep.BuildAutoencoder(ctx, phideep.AutoencoderConfig{
+			Visible: 1024, Hidden: 4096, Batch: 1000, Seed: 1,
+		})
 		tr := &phideep.Trainer{Dev: mach.Dev, Cfg: phideep.TrainConfig{
 			Iterations: 100, LR: 0.1, Prefetch: true,
 		}}
@@ -64,6 +64,58 @@ type geometryOnly struct{ dim, n int }
 func (s geometryOnly) Dim() int                                { return s.dim }
 func (s geometryOnly) Len() int                                { return s.n }
 func (s geometryOnly) Chunk(start, n int, dst *phideep.Matrix) {}
+
+// ExampleBuildConvnet trains the small im2col convnet classifier on labeled
+// synthetic digits, then serves the trained weights through the coalescing
+// inference server — the full supervised train-then-serve path.
+func ExampleBuildConvnet() {
+	mach := phideep.NewMachine(phideep.XeonPhi5110P(), phideep.WithNumeric(), phideep.WithWorkers(1))
+	defer mach.Close()
+	ctx := phideep.NewContext(mach.Dev, phideep.Improved, 0, 42)
+
+	cfg := phideep.ConvnetConfig{
+		Side: 8, Filters1: 3, Kernel1: 3, Filters2: 4, Kernel2: 3,
+		Pool: 2, Classes: 10, Lambda: 1e-5, Batch: 16, Seed: 1,
+	}
+	model, err := phideep.BuildConvnet(ctx, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	trainer := &phideep.Trainer{Dev: mach.Dev, Cfg: phideep.TrainConfig{
+		Epochs: 3, LR: 0.5, Prefetch: true,
+	}}
+	digits := phideep.NewDigits(8, 256, 7, 0.03)
+	res, err := trainer.RunLabeled(model, digits)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("learned:", res.FinalLoss < res.FirstLoss)
+
+	// Serve the trained weights; each request is one flattened 8x8 image.
+	srv, err := phideep.NewServer(phideep.ServeConvnet(cfg, model.Download()), phideep.ServeConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer srv.Close()
+	x := phideep.NewMatrix(1, cfg.InputDim())
+	digits.Chunk(0, 1, x)
+	probs, err := srv.Predict(x.RowView(0))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	fmt.Printf("served classes: %d (probabilities sum to %.0f)\n", len(probs), sum)
+	// Output:
+	// learned: true
+	// served classes: 10 (probabilities sum to 1)
+}
 
 // ExampleBoldDriver shows the adaptive learning-rate controller of the
 // paper's §III discussion: it grows the rate on improvement and cuts it on

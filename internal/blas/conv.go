@@ -1,0 +1,84 @@
+package blas
+
+import (
+	"fmt"
+
+	"phideep/internal/device"
+	"phideep/internal/kernels"
+	"phideep/internal/sim"
+)
+
+// Convolution primitives (DESIGN.md §12). Device buffers carry whatever
+// 2-D geometry their producing GEMM needed; the conv kernels address the
+// underlying NHWC storage flatly, so only total element counts are
+// validated here. The lowered conv GEMM itself is issued through the plain
+// Gemm method — it needs no conv-specific costing because its shape
+// (batch·oHW × ColK × F) already flows through the OpGemm roofline.
+
+// checkConvTotal validates that buf holds exactly want elements.
+func checkConvTotal(op string, buf *device.Buffer, want int) {
+	if buf.Rows*buf.Cols != want {
+		panic(fmt.Sprintf("blas: %s buffer %dx%d = %d elements, want %d", op, buf.Rows, buf.Cols, buf.Rows*buf.Cols, want))
+	}
+}
+
+// Im2col gathers batch NHWC images from x into the patch matrix cols
+// ((batch·OutH·OutW)×ColK), the lowering that turns convolution into one
+// packed GEMM. x must hold batch·InDim elements.
+func (c *Context) Im2col(s kernels.ConvShape, batch int, x, cols *device.Buffer) {
+	checkConvTotal("Im2col input", x, batch*s.InDim())
+	checkConvTotal("Im2col cols", cols, batch*s.OutH()*s.OutW()*s.ColK())
+	// 2 flops of index arithmetic per gathered element; 24 B/elem = the
+	// source read + patch write plus edge handling slack.
+	c.exec(c.op(sim.OpIm2col, batch, s.ColK(), s.OutH()*s.OutW(), batch*s.OutH()*s.OutW()*s.ColK(), 2, 24),
+		[]*device.Buffer{x}, []*device.Buffer{cols},
+		func() { kernels.Im2col(c.Dev.Pool, c.Level, s, batch, x.Mat, cols.Mat) })
+}
+
+// Col2im scatters patch-matrix gradients dcols back into image gradients
+// dx (zeroing dx first) — the adjoint of Im2col, used to backpropagate
+// through a conv layer's input.
+func (c *Context) Col2im(s kernels.ConvShape, batch int, dcols, dx *device.Buffer) {
+	checkConvTotal("Col2im dcols", dcols, batch*s.OutH()*s.OutW()*s.ColK())
+	checkConvTotal("Col2im dx", dx, batch*s.InDim())
+	// The scatter read-modify-writes the image gradient: 32 B/elem.
+	c.exec(c.op(sim.OpCol2im, batch, s.ColK(), s.OutH()*s.OutW(), batch*s.OutH()*s.OutW()*s.ColK(), 3, 32),
+		[]*device.Buffer{dcols}, []*device.Buffer{dx},
+		func() { kernels.Col2im(c.Dev.Pool, c.Level, s, batch, dcols.Mat, dx.Mat) })
+}
+
+// MaxPool computes per-channel window maxima of batch NHWC images held in
+// x, writing maxima to y and flat per-image winner indices to arg (both
+// batch·OutDim elements).
+func (c *Context) MaxPool(s kernels.PoolShape, batch int, x, y, arg *device.Buffer) {
+	checkConvTotal("MaxPool input", x, batch*s.InDim())
+	checkConvTotal("MaxPool output", y, batch*s.OutDim())
+	checkConvTotal("MaxPool argmax", arg, batch*s.OutDim())
+	win := s.Size * s.Size
+	c.exec(c.op(sim.OpPool, batch, 0, 0, batch*s.OutDim(), float64(win), float64(8*win+16)),
+		[]*device.Buffer{x}, []*device.Buffer{y, arg},
+		func() { kernels.MaxPool(c.Dev.Pool, c.Level, s, batch, x.Mat, y.Mat, arg.Mat) })
+}
+
+// MaxPoolBackward routes output gradients dy back to dx through the argmax
+// recorded by MaxPool, zeroing dx first.
+func (c *Context) MaxPoolBackward(s kernels.PoolShape, batch int, dy, arg, dx *device.Buffer) {
+	checkConvTotal("MaxPoolBackward dy", dy, batch*s.OutDim())
+	checkConvTotal("MaxPoolBackward argmax", arg, batch*s.OutDim())
+	checkConvTotal("MaxPoolBackward dx", dx, batch*s.InDim())
+	c.exec(c.op(sim.OpPool, batch, 0, 0, batch*s.OutDim(), 2, 40),
+		[]*device.Buffer{dy, arg}, []*device.Buffer{dx},
+		func() { kernels.MaxPoolBackward(c.Dev.Pool, c.Level, s, batch, dy.Mat, arg.Mat, dx.Mat) })
+}
+
+// ConvBiasGrad reduces the lowered conv gradient dOut ((batch·oHW)×F) to
+// the 1×F bias gradient db, filter blocks partitioned across workers (the
+// model-parallel axis of the CHAOS split).
+func (c *Context) ConvBiasGrad(dOut, db *device.Buffer) {
+	if db.Rows != 1 || db.Cols != dOut.Cols {
+		panic(fmt.Sprintf("blas: ConvBiasGrad db %dx%d for dOut %dx%d", db.Rows, db.Cols, dOut.Rows, dOut.Cols))
+	}
+	c.exec(c.op(sim.OpReduce, 0, 0, 0, dOut.Rows*dOut.Cols, 1, 8),
+		[]*device.Buffer{dOut}, []*device.Buffer{db},
+		func() { kernels.ConvBiasGrad(c.Dev.Pool, c.Level, dOut.Mat, db.Mat) })
+}

@@ -1,0 +1,45 @@
+package convnet
+
+import (
+	"fmt"
+	"io"
+
+	"phideep/internal/rng"
+)
+
+// SaveState writes the model's resumable training state to w: the
+// device-resident parameters (downloaded over the simulated PCIe link, so
+// checkpointing has a visible transfer cost) followed by the context's
+// RNG state. Momentum velocity is not captured; exact resume holds for
+// the velocity-free configuration.
+func (m *Model) SaveState(w io.Writer) error {
+	if err := m.Download().Save(w); err != nil {
+		return err
+	}
+	state, err := m.Ctx.RNG.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(state); err != nil {
+		return fmt.Errorf("convnet: save state: %w", err)
+	}
+	return nil
+}
+
+// RestoreState reads state written by SaveState, uploads the parameters to
+// the device and restores the RNG stream.
+func (m *Model) RestoreState(r io.Reader) error {
+	p := zeroParams(m.Cfg)
+	if err := p.Load(r); err != nil {
+		return err
+	}
+	state := make([]byte, rng.MarshaledSize())
+	if _, err := io.ReadFull(r, state); err != nil {
+		return fmt.Errorf("convnet: restore state: %w", err)
+	}
+	if err := m.Ctx.RNG.UnmarshalBinary(state); err != nil {
+		return err
+	}
+	m.Upload(p)
+	return nil
+}

@@ -111,6 +111,30 @@ type Result struct {
 	Device device.Stats
 }
 
+// LabeledTrainable is a model the engine can drive supervised: one
+// gradient-and-update step per (minibatch, one-hot target) pair resident on
+// the device. The convnet classifier implements it.
+type LabeledTrainable interface {
+	// StepLabeled consumes a Batch×InputDim input buffer and a
+	// Batch×OutputDim one-hot target buffer and returns a progress metric
+	// (batch-mean cross-entropy; 0 on model-only devices).
+	StepLabeled(x, y *device.Buffer, lr float64) float64
+	// BatchSize returns the fixed minibatch size the model was built for.
+	BatchSize() int
+	// InputDim returns the example dimensionality.
+	InputDim() int
+	// OutputDim returns the number of classes.
+	OutputDim() int
+}
+
+// LabeledSource is a data source whose examples carry integer class labels
+// (*data.Digits satisfies it). Labels must be in [0, OutputDim).
+type LabeledSource interface {
+	data.Source
+	// Label returns the class of example idx.
+	Label(idx int) int
+}
+
 // Trainer runs Algorithm 1 on one device.
 type Trainer struct {
 	Dev *device.Device
@@ -121,6 +145,31 @@ type Trainer struct {
 // simulated timelines are *not* reset, so successive runs accumulate (use
 // ResetTime between independent measurements).
 func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
+	return t.run(model, nil, src, nil)
+}
+
+// RunLabeled trains a supervised model: alongside each example chunk the
+// trainer stages the matching one-hot label chunk over the same simulated
+// PCIe link, then drives StepLabeled per minibatch. Everything else —
+// double buffering, graceful degradation, checkpoint/resume — behaves
+// exactly as in Run.
+func (t *Trainer) RunLabeled(model LabeledTrainable, src LabeledSource) (*Result, error) {
+	if model.OutputDim() <= 0 {
+		return nil, fmt.Errorf("core: labeled model has non-positive output dim %d", model.OutputDim())
+	}
+	return t.run(nil, model, src, src)
+}
+
+// run is the shared chunk loop. Exactly one of um and lm is non-nil; lsrc
+// is non-nil iff lm is.
+func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc LabeledSource) (*Result, error) {
+	var model interface {
+		BatchSize() int
+		InputDim() int
+	} = um
+	if lm != nil {
+		model = lm
+	}
 	batch := model.BatchSize()
 	dim := model.InputDim()
 	if src.Dim() != dim {
@@ -148,7 +197,11 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 		// device global memory next to the model — the 8 GB constraint
 		// that shapes the paper's chunking in the first place.
 		free := t.Dev.Arch.GlobalMemBytes - t.Dev.Allocated()
-		perExample := int64(dim) * 8 * int64(cfg.BufferDepth)
+		perDim := dim
+		if lm != nil {
+			perDim += lm.OutputDim() // the one-hot label ring stages too
+		}
+		perExample := int64(perDim) * 8 * int64(cfg.BufferDepth)
 		if maxExamples := free / perExample; int64(cfg.ChunkExamples) > maxExamples {
 			cfg.ChunkExamples = int(maxExamples) / batch * batch
 		}
@@ -187,27 +240,53 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 	batchesPerChunk := cfg.ChunkExamples / batch
 	totalChunks := (totalSteps + batchesPerChunk - 1) / batchesPerChunk
 
-	// Staging ring in device global memory (Fig. 5).
+	// Staging ring in device global memory (Fig. 5); supervised runs stage
+	// a parallel one-hot label ring through the same link.
 	ring := make([]*device.Buffer, cfg.BufferDepth)
 	hostStage := make([]*tensor.Matrix, cfg.BufferDepth)
+	var labelRing []*device.Buffer
+	var hostLabels []*tensor.Matrix
+	classes := 0
+	if lm != nil {
+		classes = lm.OutputDim()
+		labelRing = make([]*device.Buffer, cfg.BufferDepth)
+		hostLabels = make([]*tensor.Matrix, cfg.BufferDepth)
+	}
+	freeRings := func() {
+		for _, b := range ring {
+			if b != nil {
+				t.Dev.Free(b)
+			}
+		}
+		for _, b := range labelRing {
+			if b != nil {
+				t.Dev.Free(b)
+			}
+		}
+	}
 	for i := range ring {
 		b, err := t.Dev.Alloc(cfg.ChunkExamples, dim)
 		if err != nil {
-			for _, rb := range ring[:i] {
-				t.Dev.Free(rb)
-			}
+			freeRings()
 			return nil, fmt.Errorf("core: allocating chunk ring: %w", err)
 		}
 		ring[i] = b
 		if t.Dev.Numeric {
 			hostStage[i] = tensor.NewMatrix(cfg.ChunkExamples, dim)
 		}
-	}
-	defer func() {
-		for _, b := range ring {
-			t.Dev.Free(b)
+		if lm != nil {
+			yb, err := t.Dev.Alloc(cfg.ChunkExamples, classes)
+			if err != nil {
+				freeRings()
+				return nil, fmt.Errorf("core: allocating label ring: %w", err)
+			}
+			labelRing[i] = yb
+			if t.Dev.Numeric {
+				hostLabels[i] = tensor.NewMatrix(cfg.ChunkExamples, classes)
+			}
 		}
-	}()
+	}
+	defer freeRings()
 
 	// slotFree[i] is the simulated time at which ring slot i may be
 	// overwritten (its previous chunk fully consumed by compute).
@@ -264,6 +343,26 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 		} else {
 			_, copyErr = t.Dev.TryCopyIn(buf, nil, earliest)
 		}
+		if lm != nil {
+			var labelErr error
+			if t.Dev.Numeric {
+				hy := hostLabels[slot]
+				hy.Zero()
+				for i := 0; i < cfg.ChunkExamples; i++ {
+					l := lsrc.Label((start + i) % src.Len())
+					if l < 0 || l >= classes {
+						return nil, fmt.Errorf("core: source label %d outside [0, %d)", l, classes)
+					}
+					hy.RowView(i)[l] = 1
+				}
+				_, labelErr = t.Dev.TryCopyIn(labelRing[slot], hy, earliest)
+			} else {
+				_, labelErr = t.Dev.TryCopyIn(labelRing[slot], nil, earliest)
+			}
+			if copyErr == nil {
+				copyErr = labelErr // degrade once per chunk, whichever half failed
+			}
+		}
 		res.Chunks++
 		if copyErr != nil {
 			// Graceful degradation: the transfer engine abandoned this
@@ -287,7 +386,13 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 			if cfg.Adaptive != nil && t.Dev.Numeric {
 				lr = cfg.Adaptive.LR()
 			}
-			loss := model.Step(x, lr)
+			var loss float64
+			if lm != nil {
+				y := labelRing[slot].Slice(b*batch, (b+1)*batch)
+				loss = lm.StepLabeled(x, y, lr)
+			} else {
+				loss = um.Step(x, lr)
+			}
 			if cfg.Adaptive != nil && t.Dev.Numeric {
 				cfg.Adaptive.Observe(loss)
 			}

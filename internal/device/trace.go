@@ -89,6 +89,11 @@ func opName(op sim.Op) string {
 	switch op.Kind {
 	case sim.OpGemm:
 		return fmt.Sprintf("gemm %dx%dx%d [%s]", op.M, op.K, op.N, op.Level)
+	case sim.OpIm2col, sim.OpCol2im:
+		// blas encodes the lowering geometry as M=batch, K=ColK, N=oH·oW.
+		return fmt.Sprintf("%s %d imgs %dx%d [%s]", op.Kind, op.M, op.N, op.K, op.Level)
+	case sim.OpPool:
+		return fmt.Sprintf("pool %d imgs %d elems [%s]", op.M, op.Elems, op.Level)
 	default:
 		return fmt.Sprintf("%s %d elems [%s]", op.Kind, op.Elems, op.Level)
 	}

@@ -33,6 +33,20 @@ var (
 
 	mGemvCalls = metrics.Default().Counter("kernels.gemv.calls")
 
+	// Convolution lowering kernels (DESIGN.md §12): how many gathers and
+	// pools ran, how many elements they moved, and the im2col wall time —
+	// the overhead the lowering pays to reach the packed GEMM. The f32
+	// serving variants record into the same family; the GEMM they feed is
+	// already split by the gemm/gemm32 counters above.
+	mConvIm2colCalls   = metrics.Default().Counter("kernels.conv.im2col.calls")
+	mConvIm2colElems   = metrics.Default().FloatCounter("kernels.conv.im2col.elems")
+	mConvIm2colSeconds = metrics.Default().Histogram("kernels.conv.im2col.seconds", metrics.ExpBuckets(1e-6, 4, 12)...)
+	mConvCol2imCalls   = metrics.Default().Counter("kernels.conv.col2im.calls")
+	mConvPoolCalls     = metrics.Default().Counter("kernels.conv.pool.calls")
+	mConvPoolElems     = metrics.Default().FloatCounter("kernels.conv.pool.elems")
+	mConvPoolSeconds   = metrics.Default().Histogram("kernels.conv.pool.seconds", metrics.ExpBuckets(1e-6, 4, 12)...)
+	mConvBiasGradCalls = metrics.Default().Counter("kernels.conv.biasgrad.calls")
+
 	// Pack-arena pool behaviour: reuse means a pooled scratch buffer was
 	// large enough, grow means it had to reallocate. In steady state the
 	// grow count stops moving — the zero-alloc claim, made observable.

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+
+	"phideep/internal/kernels"
+	"phideep/internal/rng"
+	"phideep/internal/tensor"
+)
+
+// Conv2D holds one convolutional layer's parameters in im2col form: W is
+// the ColK×F filter matrix whose row (ky·KW + kx)·C + c carries input tap
+// (ky, kx, c), matching the column order kernels.Im2col emits, and B is
+// the per-filter bias. The same parameters drive both the device model
+// (cols·W through the packed GEMM) and the scalar host reference here.
+type Conv2D struct {
+	Shape kernels.ConvShape
+	W     *tensor.Matrix
+	B     tensor.Vector
+}
+
+// NewConv2D allocates a layer with Glorot-uniform weights and zero biases.
+func NewConv2D(s kernels.ConvShape, r *rng.RNG) *Conv2D {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	l := &Conv2D{
+		Shape: s,
+		W:     tensor.NewMatrix(s.ColK(), s.F),
+		B:     tensor.NewVector(s.F),
+	}
+	InitMatrix(l.W, r)
+	return l
+}
+
+// Register adds the layer's parameters to ps under prefix.
+func (l *Conv2D) Register(ps *ParamSet, prefix string) {
+	ps.AddMatrix(prefix+".W", l.W)
+	ps.AddVector(prefix+".b", l.B)
+}
+
+// Clone returns a deep copy.
+func (l *Conv2D) Clone() *Conv2D {
+	return &Conv2D{Shape: l.Shape, W: l.W.Clone(), B: l.B.Clone()}
+}
+
+// Forward runs the direct (un-lowered) convolution of one NHWC image x
+// (InDim elements) into y (OutDim elements) — the naive oracle the
+// im2col-GEMM path is tested against, and the scalar reference used by
+// degraded serving. Per output tap it accumulates products in (ky, kx, c)
+// order starting from zero and adds the bias last, which is exactly the
+// summation order of the Naive-level lowered GEMM followed by AddBiasRow —
+// so at that level the two paths agree bitwise.
+func (l *Conv2D) Forward(x, y []float64) {
+	s := l.Shape
+	if len(x) != s.InDim() || len(y) != s.OutDim() {
+		panic(fmt.Sprintf("nn: Conv2D.Forward input %d output %d, want %d and %d", len(x), len(y), s.InDim(), s.OutDim()))
+	}
+	oh, ow := s.OutH(), s.OutW()
+	o := 0
+	for oy := 0; oy < oh; oy++ {
+		iy0 := oy*s.Stride - s.Pad
+		for ox := 0; ox < ow; ox++ {
+			ix0 := ox*s.Stride - s.Pad
+			for f := 0; f < s.F; f++ {
+				acc := 0.0
+				for ky := 0; ky < s.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= s.H {
+						continue
+					}
+					for kx := 0; kx < s.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= s.W {
+							continue
+						}
+						wr := ((ky*s.KW)+kx)*s.C + 0
+						xi := (iy*s.W + ix) * s.C
+						for c := 0; c < s.C; c++ {
+							acc += x[xi+c] * l.W.At(wr+c, f)
+						}
+					}
+				}
+				y[o] = acc + l.B[f]
+				o++
+			}
+		}
+	}
+}
+
+// MaxPool2D is a parameter-free per-channel max-pooling layer; it exists
+// as a layer type so host reference paths mirror the device pipeline
+// shape-for-shape.
+type MaxPool2D struct {
+	Shape kernels.PoolShape
+}
+
+// Forward runs the pooling of one NHWC image x (InDim elements) into y
+// (OutDim elements), first-winner tie-breaking like kernels.MaxPool.
+func (l *MaxPool2D) Forward(x, y []float64) {
+	s := l.Shape
+	if len(x) != s.InDim() || len(y) != s.OutDim() {
+		panic(fmt.Sprintf("nn: MaxPool2D.Forward input %d output %d, want %d and %d", len(x), len(y), s.InDim(), s.OutDim()))
+	}
+	oh, ow := s.OutH(), s.OutW()
+	o := 0
+	for oy := 0; oy < oh; oy++ {
+		iy0 := oy * s.Stride
+		for ox := 0; ox < ow; ox++ {
+			ix0 := ox * s.Stride
+			for c := 0; c < s.C; c++ {
+				best := x[(iy0*s.W+ix0)*s.C+c]
+				for ky := 0; ky < s.Size; ky++ {
+					ri := ((iy0+ky)*s.W + ix0) * s.C
+					for kx := 0; kx < s.Size; kx++ {
+						if v := x[ri+kx*s.C+c]; v > best {
+							best = v
+						}
+					}
+				}
+				y[o] = best
+				o++
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Package nn holds the neural-network primitives shared by phideep's model
-// packages: scalar activations, weight-initialization conventions, and the
+// packages: scalar activations, weight-initialization conventions, the
 // flat parameter/gradient views used by the batch optimizers (CG, L-BFGS)
 // that the paper discusses as the parallelism-friendly alternative to
-// online SGD.
+// online SGD, and the Conv2D/MaxPool2D layer types of the convolutional
+// workload family (im2col-form parameters plus their scalar direct
+// references).
 package nn
 
 import (

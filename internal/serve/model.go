@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"phideep/internal/autoencoder"
+	"phideep/internal/convnet"
 	"phideep/internal/core"
 	"phideep/internal/mlp"
 	"phideep/internal/rbm"
@@ -18,6 +19,7 @@ const (
 	kindAE modelKind = iota
 	kindRBM
 	kindMLP
+	kindConv
 )
 
 // Model is an immutable, host-side snapshot of a trained model ready to be
@@ -28,13 +30,15 @@ const (
 type Model struct {
 	kind modelKind
 
-	aeCfg  autoencoder.Config
-	rbmCfg rbm.Config
-	mlpCfg mlp.Config
+	aeCfg   autoencoder.Config
+	rbmCfg  rbm.Config
+	mlpCfg  mlp.Config
+	convCfg convnet.Config
 
 	ae *autoencoder.Params
 	rb *rbm.Params
 	ml *mlp.Params
+	cv *convnet.Params
 
 	// Float32 weight snapshots for Precision F32, converted lazily (first
 	// worker that needs them) and exactly once, then shared read-only by
@@ -43,6 +47,7 @@ type Model struct {
 	ae32   *autoencoder.Params32
 	rb32   *rbm.Params32
 	ml32   *mlp.Params32
+	cv32   *convnet.Params32
 }
 
 // convert32 rounds the model's parameters to float32 once; subsequent calls
@@ -54,8 +59,10 @@ func (m *Model) convert32() {
 			m.ae32 = m.ae.To32()
 		case kindRBM:
 			m.rb32 = m.rb.To32()
-		default:
+		case kindMLP:
 			m.ml32 = m.ml.To32()
+		case kindConv:
+			m.cv32 = m.cv.To32()
 		}
 	})
 }
@@ -92,6 +99,17 @@ func MLP(cfg mlp.Config, p *mlp.Params) *Model {
 		p = cloneMLP(cfg, p)
 	}
 	return &Model{kind: kindMLP, mlpCfg: cfg, ml: p}
+}
+
+// Convnet wraps convolutional-classifier parameters for serving (Predict).
+// p is deep-copied; nil initializes from cfg.Seed.
+func Convnet(cfg convnet.Config, p *convnet.Params) *Model {
+	if p == nil {
+		p = convnet.NewParams(cfg, cfg.Seed)
+	} else {
+		p = p.Clone()
+	}
+	return &Model{kind: kindConv, convCfg: cfg, cv: p}
 }
 
 // cloneMLP deep-copies classifier parameters (mlp.Params has no Clone).
@@ -148,7 +166,20 @@ func MLPFromCheckpoint(cfg mlp.Config, path string) (*Model, error) {
 	return &Model{kind: kindMLP, mlpCfg: cfg, ml: p}, nil
 }
 
-// Kind names the model family: "autoencoder", "rbm" or "mlp".
+// ConvnetFromCheckpoint loads convnet parameters from a PHCK checkpoint.
+func ConvnetFromCheckpoint(cfg convnet.Config, path string) (*Model, error) {
+	c, err := core.ReadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	p := convnet.NewParams(cfg, 0)
+	if err := p.Load(bytes.NewReader(c.Model)); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return &Model{kind: kindConv, convCfg: cfg, cv: p}, nil
+}
+
+// Kind names the model family: "autoencoder", "rbm", "mlp" or "convnet".
 func (m *Model) Kind() string {
 	switch m.kind {
 	case kindAE:
@@ -157,6 +188,8 @@ func (m *Model) Kind() string {
 		return "rbm"
 	case kindMLP:
 		return "mlp"
+	case kindConv:
+		return "convnet"
 	default:
 		return fmt.Sprintf("kind(%d)", int(m.kind))
 	}
@@ -169,6 +202,8 @@ func (m *Model) InputDim() int {
 		return m.aeCfg.Visible
 	case kindRBM:
 		return m.rbmCfg.Visible
+	case kindConv:
+		return m.convCfg.InputDim()
 	default:
 		return m.mlpCfg.Sizes[0]
 	}
@@ -187,6 +222,8 @@ func (m *Model) OutputDim(op Op) int {
 			return m.rbmCfg.Hidden
 		}
 		return m.rbmCfg.Visible
+	case kindConv:
+		return m.convCfg.Classes
 	default:
 		return m.mlpCfg.Sizes[len(m.mlpCfg.Sizes)-1]
 	}
@@ -194,7 +231,7 @@ func (m *Model) OutputDim(op Op) int {
 
 // Ops lists the operations this model answers.
 func (m *Model) Ops() []Op {
-	if m.kind == kindMLP {
+	if m.kind == kindMLP || m.kind == kindConv {
 		return []Op{OpPredict}
 	}
 	return []Op{OpEncode, OpReconstruct}
@@ -202,7 +239,7 @@ func (m *Model) Ops() []Op {
 
 // supports reports whether op is valid for the model family.
 func (m *Model) supports(op Op) bool {
-	if m.kind == kindMLP {
+	if m.kind == kindMLP || m.kind == kindConv {
 		return op == OpPredict
 	}
 	return op == OpEncode || op == OpReconstruct
@@ -211,8 +248,13 @@ func (m *Model) supports(op Op) bool {
 // hostInfer answers one request on the calling goroutine with the scalar
 // host reference — the Degrade path. Bit-identical to the device path at
 // core.Baseline; toleranced (≈1e-12 relative) against the blocked levels,
-// which reorder the reduction.
-func (m *Model) hostInfer(op Op, x []float64) []float64 {
+// which reorder the reduction. An op the model family does not implement
+// returns *UnsupportedOpError rather than falling through to a different
+// family's forward pass.
+func (m *Model) hostInfer(op Op, x []float64) ([]float64, error) {
+	if !m.supports(op) {
+		return nil, &UnsupportedOpError{Kind: m.Kind(), Op: op}
+	}
 	out := make([]float64, m.OutputDim(op))
 	switch m.kind {
 	case kindAE:
@@ -227,8 +269,12 @@ func (m *Model) hostInfer(op Op, x []float64) []float64 {
 		} else {
 			m.rb.Reconstruct(x, out, m.rbmCfg.GaussianVisible)
 		}
-	default:
+	case kindMLP:
 		copy(out, m.ml.PredictProbs(m.mlpCfg, x))
+	case kindConv:
+		copy(out, m.cv.PredictProbs(m.convCfg, x))
+	default:
+		return nil, &UnsupportedOpError{Kind: m.Kind(), Op: op}
 	}
-	return out
+	return out, nil
 }

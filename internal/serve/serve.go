@@ -147,6 +147,19 @@ func (p Precision) String() string {
 // the admission queue is full.
 var ErrOverloaded = errors.New("serve: overloaded")
 
+// UnsupportedOpError reports a serving call whose operation the loaded
+// model family does not implement — asking an autoencoder to Predict, or a
+// classifier to Reconstruct. Every path returns it, including the Degrade
+// fallback, which used to assume all operations exist for all families.
+type UnsupportedOpError struct {
+	Kind string // model family, as reported by Model.Kind
+	Op   Op
+}
+
+func (e *UnsupportedOpError) Error() string {
+	return fmt.Sprintf("serve: %s model does not support %s", e.Kind, e.Op)
+}
+
 // ErrClosed is returned by serving calls after Close.
 var ErrClosed = errors.New("serve: server closed")
 
@@ -318,7 +331,7 @@ func (s *Server) Model() *Model { return s.model }
 // do admits, batches and awaits one request.
 func (s *Server) do(op Op, x []float64) ([]float64, error) {
 	if !s.model.supports(op) {
-		return nil, fmt.Errorf("serve: %s model does not support %s", s.model.Kind(), op)
+		return nil, &UnsupportedOpError{Kind: s.model.Kind(), Op: op}
 	}
 	if len(x) != s.model.InputDim() {
 		return nil, fmt.Errorf("serve: input length %d, want %d", len(x), s.model.InputDim())
@@ -344,7 +357,7 @@ func (s *Server) do(op Op, x []float64) ([]float64, error) {
 			s.st.degrades.Add(1)
 			s.mu.Unlock()
 			recordDegrade()
-			return s.model.hostInfer(op, x), nil
+			return s.model.hostInfer(op, x)
 		default: // Block
 			s.notFull.Wait()
 		}

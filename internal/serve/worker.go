@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"phideep/internal/autoencoder"
 	"phideep/internal/blas"
+	"phideep/internal/convnet"
 	"phideep/internal/core"
 	"phideep/internal/device"
 	"phideep/internal/mlp"
@@ -32,10 +34,12 @@ type worker struct {
 	ae *autoencoder.Model
 	rb *rbm.Model
 	ml *mlp.Model
+	cv *convnet.Model
 
 	ae32 *autoencoder.Inference32
 	rb32 *rbm.Inference32
 	ml32 *mlp.Inference32
+	cv32 *convnet.Inference32
 
 	// x is the staging input buffer, MaxBatch×InputDim; partial batches
 	// compute on its [0,n) row view. stage is its host mirror — CopyIn
@@ -66,8 +70,13 @@ func newWorker(s *Server, i int) (*worker, error) {
 			w.ae32 = autoencoder.NewInference32(w.pool, lvl, m.aeCfg, cfg.MaxBatch, m.ae32)
 		case kindRBM:
 			w.rb32 = rbm.NewInference32(w.pool, lvl, m.rbmCfg, cfg.MaxBatch, m.rb32)
-		default:
+		case kindMLP:
 			w.ml32 = mlp.NewInference32(w.pool, lvl, m.mlpCfg, cfg.MaxBatch, m.ml32)
+		case kindConv:
+			w.cv32 = convnet.NewInference32(w.pool, lvl, m.convCfg, cfg.MaxBatch, m.cv32)
+		default:
+			w.free()
+			return nil, fmt.Errorf("serve: unknown model kind %d", int(m.kind))
 		}
 		w.stage32 = tensor.NewMatrix32(cfg.MaxBatch, m.InputDim())
 		return w, nil
@@ -82,8 +91,12 @@ func newWorker(s *Server, i int) (*worker, error) {
 		w.ae, err = autoencoder.NewInference(w.ctx, m.aeCfg, cfg.MaxBatch, m.ae)
 	case kindRBM:
 		w.rb, err = rbm.NewInference(w.ctx, m.rbmCfg, cfg.MaxBatch, m.rb)
-	default:
+	case kindMLP:
 		w.ml, err = mlp.NewInference(w.ctx, m.mlpCfg, cfg.MaxBatch, m.ml)
+	case kindConv:
+		w.cv, err = convnet.NewInference(w.ctx, m.convCfg, cfg.MaxBatch, m.cv)
+	default:
+		err = fmt.Errorf("serve: unknown model kind %d", int(m.kind))
 	}
 	if err != nil {
 		w.free()
@@ -148,6 +161,8 @@ func (w *worker) run(batch []*request) {
 		} else {
 			out = w.rb.Reconstruct(xv)
 		}
+	case w.cv != nil:
+		out = w.cv.Infer(xv)
 	default:
 		out = w.ml.Infer(xv)
 	}
@@ -185,6 +200,8 @@ func (w *worker) run32(batch []*request) {
 		} else {
 			out = w.rb32.Reconstruct(xv)
 		}
+	case w.cv32 != nil:
+		out = w.cv32.Infer(xv)
 	default:
 		out = w.ml32.Infer(xv)
 	}
@@ -230,11 +247,15 @@ func (w *worker) free() {
 		w.ml.Free()
 		w.ml = nil
 	}
+	if w.cv != nil {
+		w.cv.Free()
+		w.cv = nil
+	}
 	if w.x != nil {
 		w.ctx.Dev.Free(w.x)
 		w.x = nil
 	}
-	w.ae32, w.rb32, w.ml32 = nil, nil, nil
+	w.ae32, w.rb32, w.ml32, w.cv32 = nil, nil, nil, nil
 	if w.pool != nil {
 		w.pool.Close()
 		w.pool = nil

@@ -19,6 +19,20 @@ const (
 	// OpSample is Bernoulli sampling over Elems elements — an elementwise
 	// op with RNG cost per element.
 	OpSample
+	// OpIm2col is the convolution-lowering gather: Elems patch-matrix
+	// elements copied from NHWC images, charged per element like an
+	// elementwise op (the flops are index arithmetic, the traffic is the
+	// KH·KW-fold read amplification the caller encodes in BytesPerElem).
+	// The conv GEMM the gather feeds is costed as a plain OpGemm with
+	// M = batch·OutH·OutW, K = KH·KW·C, N = F.
+	OpIm2col
+	// OpCol2im is the adjoint scatter of OpIm2col (backward through the
+	// lowering), with read-modify-write traffic on the image gradient.
+	OpCol2im
+	// OpPool is max pooling (or its argmax-routed backward scatter):
+	// Elems output elements, each comparing a Size² window, encoded by the
+	// caller in FlopsPerElem/BytesPerElem.
+	OpPool
 )
 
 func (k OpKind) String() string {
@@ -31,6 +45,12 @@ func (k OpKind) String() string {
 		return "reduce"
 	case OpSample:
 		return "sample"
+	case OpIm2col:
+		return "im2col"
+	case OpCol2im:
+		return "col2im"
+	case OpPool:
+		return "pool"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}

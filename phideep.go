@@ -14,8 +14,9 @@
 //   - Platforms: XeonPhi5110P, XeonE5620Core/Full/Dual, MatlabR2012a — cost
 //     models with simulated clocks. NewMachine binds one to a Device that
 //     either really computes ("numeric") or only accounts time.
-//   - Models: NewAutoencoder (Eqs. 1–6) and NewRBM (Eqs. 7–13), resident on
-//     a device, trainable at any OptLevel.
+//   - Models: BuildAutoencoder (Eqs. 1–6), BuildRBM (Eqs. 7–13), BuildMLP
+//     and BuildConvnet (im2col-lowered conv/pool layers, DESIGN.md §12),
+//     resident on a device, trainable at any OptLevel.
 //   - Training: Trainer runs Algorithm 1 (chunk streaming + minibatch SGD);
 //     PretrainAutoencoders / PretrainDBN run the greedy layer-wise stacking
 //     of Fig. 1.
@@ -41,16 +42,17 @@
 //	fmt.Println(res.SimSeconds, res.FinalLoss)
 //
 // Trained models answer online traffic through the serving layer: wrap the
-// parameters with ServeAutoencoder / ServeRBM / ServeMLP (or load a PHCK
-// checkpoint), then NewServer coalesces concurrent requests into
-// micro-batches on device-bound workers. See internal/serve and
-// cmd/phiserve.
+// parameters with ServeAutoencoder / ServeRBM / ServeMLP / ServeConvnet
+// (or load a PHCK checkpoint), then NewServer coalesces concurrent
+// requests into micro-batches on device-bound workers. See internal/serve
+// and cmd/phiserve.
 package phideep
 
 import (
 	"phideep/internal/autoencoder"
 	"phideep/internal/blas"
 	"phideep/internal/cluster"
+	"phideep/internal/convnet"
 	"phideep/internal/core"
 	"phideep/internal/data"
 	"phideep/internal/device"
@@ -93,6 +95,13 @@ type (
 	TrainResult = core.Result
 	// Trainable is any model the Trainer can drive.
 	Trainable = core.Trainable
+	// LabeledTrainable is a model the Trainer can drive supervised
+	// (Trainer.RunLabeled): one StepLabeled per minibatch with one-hot
+	// targets staged alongside the examples.
+	LabeledTrainable = core.LabeledTrainable
+	// LabeledSource is a Source whose examples carry integer class labels
+	// (Digits implements it).
+	LabeledSource = core.LabeledSource
 	// DeviceStats is a snapshot of device activity counters.
 	DeviceStats = device.Stats
 	// FaultConfig parameterizes the device's injectable PCIe fault model
@@ -146,6 +155,15 @@ type (
 	MLPConfig = mlp.Config
 	// MLPParams is the host-side parameter set.
 	MLPParams = mlp.Params
+
+	// Convnet is the LeNet-style convolutional classifier resident on a
+	// device: conv → pool → conv → pool → softmax, lowered via im2col onto
+	// the packed GEMM (DESIGN.md §12).
+	Convnet = convnet.Model
+	// ConvnetConfig holds its geometry and hyperparameters.
+	ConvnetConfig = convnet.Config
+	// ConvnetParams is the host-side parameter set.
+	ConvnetParams = convnet.Params
 
 	// StackConfig describes a deep stack for greedy layer-wise
 	// pre-training (Fig. 1).
@@ -436,6 +454,20 @@ func NewMLPInference(ctx *Context, cfg MLPConfig, batch int, p *MLPParams) (*MLP
 	return mlp.NewInference(ctx, cfg, batch, p)
 }
 
+// BuildConvnet allocates a convolutional classifier on the context's
+// device for cfg.Batch examples, initialized from cfg.Seed. Train it
+// supervised with (*Trainer).RunLabeled on a LabeledSource such as Digits.
+func BuildConvnet(ctx *Context, cfg ConvnetConfig) (*Convnet, error) {
+	return convnet.Build(ctx, cfg)
+}
+
+// NewConvnetInference allocates a forward-only convnet (batched Infer, no
+// gradient workspace). p supplies the weights (nil initializes from
+// cfg.Seed).
+func NewConvnetInference(ctx *Context, cfg ConvnetConfig, batch int, p *ConvnetParams) (*Convnet, error) {
+	return convnet.NewInference(ctx, cfg, batch, p)
+}
+
 // OneHot fills dst (len(labels)×classes) with one-hot target rows.
 func OneHot(labels []int, dst *Matrix) { kernels.OneHot(labels, dst) }
 
@@ -498,6 +530,12 @@ func ServeMLP(cfg MLPConfig, p *MLPParams) *ServeModel {
 	return serve.MLP(cfg, p)
 }
 
+// ServeConvnet snapshots convnet parameters for serving (Predict). p is
+// deep-copied; nil initializes from cfg.Seed.
+func ServeConvnet(cfg ConvnetConfig, p *ConvnetParams) *ServeModel {
+	return serve.Convnet(cfg, p)
+}
+
 // ServeAutoencoderCheckpoint loads autoencoder parameters from a PHCK
 // checkpoint (written by Trainer or phitrain -export) for serving. cfg
 // must describe the geometry the checkpoint was trained with.
@@ -515,6 +553,12 @@ func ServeRBMCheckpoint(cfg RBMConfig, path string) (*ServeModel, error) {
 // for serving.
 func ServeMLPCheckpoint(cfg MLPConfig, path string) (*ServeModel, error) {
 	return serve.MLPFromCheckpoint(cfg, path)
+}
+
+// ServeConvnetCheckpoint loads convnet parameters from a PHCK checkpoint
+// (written by phitrain -model convnet -export) for serving.
+func ServeConvnetCheckpoint(cfg ConvnetConfig, path string) (*ServeModel, error) {
+	return serve.ConvnetFromCheckpoint(cfg, path)
 }
 
 // NewCluster builds an N-node parameter-averaging cluster of the given
@@ -603,6 +647,12 @@ func NewAutoencoderParams(cfg AutoencoderConfig, seed uint64) *AutoencoderParams
 // initialization.
 func NewRBMParams(cfg RBMConfig, seed uint64) *RBMParams {
 	return rbm.NewParams(cfg, seed)
+}
+
+// NewConvnetParams returns host-side convnet parameters with the
+// conventional initialization.
+func NewConvnetParams(cfg ConvnetConfig, seed uint64) *ConvnetParams {
+	return convnet.NewParams(cfg, seed)
 }
 
 // AutoencoderObjective adapts the host reference Sparse Autoencoder on the
