@@ -28,14 +28,19 @@ go build ./...
 go test ./...
 # The pure-Go micro-kernel fallbacks (f64 and f32) must stay correct on
 # their own: re-run the kernel suite — and the convnet built on the
-# lowered GEMM — with the assembly path compiled out.
-go test -tags noasm ./internal/kernels/... ./internal/convnet/...
+# lowered GEMM — with the assembly path compiled out. The tuner rides
+# along: its workload evaluations and predictor calibration run the full
+# training stack, so they must hold on the fallback kernels too.
+go test -tags noasm ./internal/kernels/... ./internal/convnet/... ./internal/tune/...
 # core and stack carry the fault-injection, checkpoint/resume and chunk
 # prefetch tests, which overlap the loading goroutine with training; the
 # cluster package rides along for its checkpoint-handoff paths; serve is
 # the micro-batcher + worker pool; convnet runs its conv kernels across
 # varying pool sizes (the bit-determinism-across-workers tests).
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/... ./internal/convnet/...
+# tune joins the race set for its leak-free candidate-evaluation guarantee
+# (device audits on every error path) and the adaptive controller's
+# lock-protected knob updates.
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/... ./internal/convnet/... ./internal/tune/...
 # Determinism spot-check: the crash/rejoin/resync scenario must produce the
 # identical ledger on back-to-back runs (fault injection is seeded, never
 # wall-clock dependent).
@@ -43,6 +48,11 @@ go test -run TestClusterRecovery -count=2 ./internal/cluster/
 # Serving smoke: the closed-loop load generator must sustain concurrent
 # clients against the in-process server and print a latency report.
 go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 -duration 2s
+# Adaptive-batching smoke: same load with the online controller on and a
+# deliberately oversized window (clients < max-batch) — the report must
+# include the "adaptive:" line showing the controller engaged.
+go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 \
+    -max-batch 16 -max-wait 10ms -duration 2s -adaptive | grep "adaptive:"
 # Convnet train-then-serve smoke: train on labeled digits, export a PHCK
 # checkpoint, and serve /predict from it through the load generator (the
 # geometry flags must match between the two commands).

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/sim"
+	"phideep/internal/tune"
+)
+
+// runTune is the -tune mode: calibrate the performance predictor from
+// short probe runs, rank the default grid by predicted epoch time, spend
+// full simulated evaluations only on the predicted top k, and print the
+// predicted-vs-simulated ranking next to the exhaustive-search answer so
+// the pruning quality is visible at a glance.
+func runTune(w io.Writer) error {
+	wl := tune.AEWorkload{
+		Arch: sim.XeonPhi5110P(), Model: autoencoder.Config{Visible: 256, Hidden: 1024},
+		Batch: 250, Iterations: 100, DatasetExamples: 2000,
+	}
+	cands := tune.DefaultCandidates(wl.Arch)
+	const topK = 8
+
+	res, p, err := tune.PrunedSearch(wl, cands, topK)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "phibench -tune: AE %dx%d, batch %d, %d iterations on %s\n",
+		wl.Model.Visible, wl.Model.Hidden, wl.Batch, wl.Iterations, wl.Arch.Name)
+	fmt.Fprintf(w, "calibration: %d probe runs (%d fit equations) over a %d-candidate grid\n",
+		p.CalibrationRuns, p.CalibrationEquations, len(cands))
+	fmt.Fprint(w, "coefficients:")
+	for i, c := range p.Coefficients() {
+		fmt.Fprintf(w, " %s=%.3f", tune.FeatureNames[i], c)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "\npredicted top %d (fully simulated for verification):\n", topK)
+	fmt.Fprintf(w, "  %-4s %-45s %12s %12s %8s\n", "rank", "candidate", "predicted", "simulated", "error")
+	for i, s := range res.All {
+		relE := (s.Predicted - s.SimSeconds) / s.SimSeconds
+		fmt.Fprintf(w, "  %-4d %-45s %11.4gs %11.4gs %+7.1f%%\n",
+			i+1, s.Candidate.String(), s.Predicted, s.SimSeconds, 100*relE)
+	}
+	fmt.Fprintf(w, "pruned: %d of %d candidates never fully simulated\n", res.Pruned, len(cands))
+
+	exhaustive, err := tune.GridSearch(tune.WorkloadObjective(wl), cands)
+	if err != nil {
+		return err
+	}
+	agree := "agrees with the pruned search"
+	if exhaustive.Best.Candidate != res.Best.Candidate {
+		agree = fmt.Sprintf("DISAGREES with the pruned pick (%v)", res.Best.Candidate)
+	}
+	fmt.Fprintf(w, "exhaustive best: %v (%.4g s) — %s\n",
+		exhaustive.Best.Candidate, exhaustive.Best.SimSeconds, agree)
+	return nil
+}

@@ -91,6 +91,10 @@ func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, du
 		st.Sheds, st.Degrades)
 	fmt.Fprintf(w, "  batcher:  %d batches, avg size %.2f (%d full, %d deadline flushes)\n",
 		st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
+	if st.Adaptive {
+		fmt.Fprintf(w, "  adaptive: %d adjustments, effective batch<=%d wait<=%v\n",
+			st.Adjustments, st.CurMaxBatch, st.CurMaxWait)
+	}
 	return nil
 }
 

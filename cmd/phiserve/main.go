@@ -75,6 +75,7 @@ func main() {
 		pool     = flag.Int("pool-workers", 0, "Go pool size behind each device's parallel kernels (0 = run inline)")
 		maxBatch = flag.Int("max-batch", 16, "micro-batch coalescing limit")
 		maxWait  = flag.Duration("max-wait", time.Millisecond, "micro-batch flush deadline")
+		adaptive = flag.Bool("adaptive", false, "enable the online batching controller (max-batch/max-wait become ceilings; adjustments visible as serve.tune.* metrics)")
 		queue    = flag.Int("queue-depth", 0, "admission bound on queued requests (0 = 4x max-batch)")
 		policy   = flag.String("policy", "block", "full-queue policy: block | shed | degrade")
 		prec     = flag.String("precision", "f64", "forward-path numeric width: f64 (device path) | f32 (packed SIMD host kernels)")
@@ -95,7 +96,7 @@ func main() {
 		Filters2: *filters2, Kernel2: *kernel2, Pool: *poolSz, Classes: *classes,
 	}
 	if err := run(*model, *ckpt, *visible, *hidden, *sizes, *tied, *gaussian, conv,
-		*level, *arch, *cores, *workers, *pool, *maxBatch, *maxWait, *queue, *policy, *prec, *seed,
+		*level, *arch, *cores, *workers, *pool, *maxBatch, *maxWait, *adaptive, *queue, *policy, *prec, *seed,
 		*addr, *loadgen, *clients, *duration, *op); err != nil {
 		fmt.Fprintln(os.Stderr, "phiserve:", err)
 		os.Exit(1)
@@ -105,7 +106,7 @@ func main() {
 func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, gaussian bool,
 	conv phideep.ConvnetConfig,
 	levelName, archName string, cores, workers, pool, maxBatch int, maxWait time.Duration,
-	queue int, policyName, precName string, seed uint64,
+	adaptive bool, queue int, policyName, precName string, seed uint64,
 	addr string, loadgen bool, clients int, duration time.Duration, opName string) error {
 
 	m, err := buildModel(modelKind, ckpt, visible, hidden, sizesFlag, tied, gaussian, conv, seed)
@@ -128,12 +129,13 @@ func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, ga
 	if err != nil {
 		return err
 	}
-	srv, err := phideep.NewServer(m, phideep.ServeConfig{
+	cfg := phideep.ServeConfig{
 		Arch: archDesc, Level: lvl, Cores: cores,
 		Workers: workers, PoolWorkers: pool,
-		MaxBatch: maxBatch, MaxWait: maxWait,
+		MaxBatch: maxBatch, MaxWait: maxWait, Adaptive: adaptive,
 		QueueDepth: queue, Policy: pol, Seed: seed,
-	}, phideep.WithPrecision(prec))
+	}
+	srv, err := phideep.NewServer(m, cfg, phideep.WithPrecision(prec))
 	if err != nil {
 		return err
 	}
@@ -143,8 +145,12 @@ func run(modelKind, ckpt string, visible, hidden int, sizesFlag string, tied, ga
 		return runLoadgen(os.Stdout, srv, opName, clients, duration, maxWait, policyName, seed)
 	}
 
-	fmt.Printf("phiserve: %s model (%d inputs) on %s [%s], %d workers, batch<=%d wait<=%v policy=%s precision=%s\n",
-		m.Kind(), m.InputDim(), archDesc.Name, lvl, workers, maxBatch, maxWait, pol, prec)
+	mode := "static"
+	if adaptive {
+		mode = "adaptive"
+	}
+	fmt.Printf("phiserve: %s model (%d inputs) on %s [%s], %d workers, batch<=%d wait<=%v (%s) policy=%s precision=%s\n",
+		m.Kind(), m.InputDim(), archDesc.Name, lvl, workers, maxBatch, maxWait, mode, pol, prec)
 	fmt.Printf("phiserve: listening on http://%s\n", addr)
 	return http.ListenAndServe(addr, newMux(srv, time.Now()))
 }

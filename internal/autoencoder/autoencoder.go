@@ -164,6 +164,7 @@ func Build(ctx *blas.Context, cfg Config) (*Model, error) {
 		m.keepP = alloc(batch, v)
 	}
 	if err != nil {
+		m.Free() // release the buffers allocated before the failure
 		return nil, err
 	}
 	if cfg.Corruption > 0 && dev.Numeric {
@@ -205,6 +206,7 @@ func NewInference(ctx *blas.Context, cfg Config, batch int, p *Params) (*Model, 
 	}
 	m.y, m.z = alloc(batch, h), alloc(batch, v)
 	if err != nil {
+		m.Free() // release the buffers allocated before the failure
 		return nil, err
 	}
 	if p == nil {

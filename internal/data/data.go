@@ -62,6 +62,23 @@ func (s Null) Len() int { return s.N }
 // Chunk implements Source as a no-op.
 func (s Null) Chunk(start, n int, dst *tensor.Matrix) { checkChunk(s, start, n, dst) }
 
+// NullLabeled is Null with a deterministic label stream: example i carries
+// label i mod Classes. It satisfies core.LabeledSource structurally, so
+// timing-only tuning runs can drive the supervised trainers (MLP, convnet)
+// on model-only devices without generating any floats.
+type NullLabeled struct {
+	Null
+	Classes int
+}
+
+// Label implements the labeled-source contract.
+func (s NullLabeled) Label(idx int) int {
+	if s.Classes <= 0 {
+		return 0
+	}
+	return idx % s.Classes
+}
+
 // InMemory serves examples from a concrete matrix (one example per row).
 // Used by tests and by the batch optimizers that need the whole set.
 type InMemory struct {

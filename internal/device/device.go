@@ -46,6 +46,22 @@ type Device struct {
 	// just not concurrent).
 	Pool *parallel.Pool
 
+	// Observe, when non-nil, is called once per sequential kernel launch
+	// with the op exactly as submitted to Exec. Used by internal/tune's
+	// calibrated predictor to capture workload traces.
+	Observe func(op sim.Op)
+	// ObserveGroup, when non-nil, is called once per concurrent group
+	// (ExecConcurrent) with the branch ops at their pre-split core request
+	// and Fused set on all but the first branch — the exact inputs to the
+	// core-sharing split, so an observer can replay the split and the
+	// group-makespan rule deterministically. When nil, Observe (if set)
+	// receives the branches individually instead.
+	ObserveGroup func(ops []sim.Op)
+	// ObserveTransfer, when non-nil, is called once per logical PCIe
+	// transfer with its byte count (retry attempts under the fault model
+	// are not re-reported).
+	ObserveTransfer func(bytes int64)
+
 	compute  sim.Timeline
 	transfer sim.Timeline
 
@@ -190,6 +206,9 @@ func (d *Device) Free(b *Buffer) {
 // transfer and returns a *TransferError. Every attempt — failed ones
 // included — occupies the engine for the full transfer duration.
 func (d *Device) scheduleTransfer(op string, bytes int64, earliest float64) (end float64, err error) {
+	if d.ObserveTransfer != nil {
+		d.ObserveTransfer(bytes)
+	}
 	dur := d.Arch.TransferTime(bytes)
 	f := d.faults
 	for attempt := 1; ; attempt++ {
@@ -362,6 +381,9 @@ func (d *Device) Exec(op sim.Op, deps []*Buffer, writes []*Buffer, fn func()) {
 			ready = r
 		}
 	}
+	if d.Observe != nil {
+		d.Observe(op)
+	}
 	dur := d.Arch.OpTime(op)
 	start, end := d.compute.Schedule(ready, dur)
 	for _, b := range writes {
@@ -416,6 +438,20 @@ func (d *Device) ExecConcurrent(branches []Branch) {
 		return
 	}
 	k := len(branches)
+	if d.ObserveGroup != nil || d.Observe != nil {
+		obs := make([]sim.Op, k)
+		for i := range branches {
+			obs[i] = branches[i].Op
+			obs[i].Fused = i > 0
+		}
+		if d.ObserveGroup != nil {
+			d.ObserveGroup(obs)
+		} else {
+			for _, op := range obs {
+				d.Observe(op)
+			}
+		}
+	}
 	ready := make([]float64, k)
 	durs := make([]float64, k)
 	// First pass: full-device durations, used to split the cores between

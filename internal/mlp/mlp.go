@@ -124,6 +124,7 @@ func Build(ctx *blas.Context, cfg Config) (*Model, error) {
 		}
 	}
 	if err != nil {
+		m.Free() // release the buffers allocated before the failure
 		return nil, err
 	}
 	m.Upload(NewParams(cfg, cfg.Seed))
@@ -162,6 +163,7 @@ func NewInference(ctx *blas.Context, cfg Config, batch int, p *Params) (*Model, 
 		m.act[l] = alloc(batch, out)
 	}
 	if err != nil {
+		m.Free() // release the buffers allocated before the failure
 		return nil, err
 	}
 	if p == nil {
@@ -391,6 +393,15 @@ func (m *Model) ApplyUpdate(lr float64) {
 
 // StepLabeled runs one supervised update on (x, one-hot y) and returns the
 // batch-mean cross-entropy (0 on model-only devices).
+// BatchSize implements core.LabeledTrainable.
+func (m *Model) BatchSize() int { return m.Batch }
+
+// InputDim implements core.LabeledTrainable.
+func (m *Model) InputDim() int { return m.Cfg.Sizes[0] }
+
+// OutputDim implements core.LabeledTrainable.
+func (m *Model) OutputDim() int { return m.Cfg.Sizes[len(m.Cfg.Sizes)-1] }
+
 func (m *Model) StepLabeled(x, y *device.Buffer, lr float64) float64 {
 	m.Forward(x)
 	loss := m.Ctx.CrossEntropyOneHot(m.Probs(), y) / float64(m.Batch)

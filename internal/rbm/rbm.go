@@ -177,6 +177,7 @@ func Build(ctx *blas.Context, cfg Config) (*Model, error) {
 		m.pchain = alloc(batch, v)
 	}
 	if err != nil {
+		m.Free() // release the buffers allocated before the failure
 		return nil, err
 	}
 	m.Upload(NewParams(cfg, cfg.Seed))
@@ -211,6 +212,7 @@ func NewInference(ctx *blas.Context, cfg Config, batch int, p *Params) (*Model, 
 	m.W, m.B, m.C = alloc(v, h), alloc(1, v), alloc(1, h)
 	m.ph0, m.pv1 = alloc(batch, h), alloc(batch, v)
 	if err != nil {
+		m.Free() // release the buffers allocated before the failure
 		return nil, err
 	}
 	if p == nil {

@@ -1,0 +1,144 @@
+package serve
+
+import "time"
+
+// tuneWindow is the number of flushes between controller decisions: long
+// enough to average over scheduling jitter, short enough to react within
+// ~100 ms at millisecond flush cadences.
+const tuneWindow = 8
+
+// autotuner is the online controller behind Config.Adaptive. It owns the
+// batcher's two knobs — the effective flush size and flush deadline — and
+// retunes them from the live flush stream: a batcher whose flushes are
+// deadline-dominated is waiting on a timer for requests that are not
+// coming (the EXPERIMENTS.md regime cliff below clients == MaxBatch), so
+// the controller shrinks the flush size toward the observed concurrency
+// until batches fill and dispatch immediately; sheds and sustained backlog
+// push the knobs back toward the configured ceilings.
+//
+// The controller is pure and deterministic: state advances only on flush
+// events (no clocks, no randomness), so an identical flush trace always
+// produces the identical knob sequence. Config.MaxBatch stays a hard
+// ceiling — worker staging buffers are sized to it — and Config.MaxWait
+// bounds the deadline from above.
+//
+// Stability guards: decisions happen once per tuneWindow flushes, not per
+// flush; every adjustment is followed by one cooldown window so the stats
+// perturbed by the transition are discarded; growth requires positive
+// evidence (sheds, or a backlog of at least twice the current flush size),
+// so the shrink that erases the cliff is not immediately undone; and all
+// moves are monotone steps (halving/doubling, or a jump to the observed
+// mean batch), so the knobs cannot chatter between far-apart values.
+type autotuner struct {
+	ceilBatch int
+	ceilWait  time.Duration
+	minWait   time.Duration
+
+	batch       int
+	wait        time.Duration
+	adjustments int64
+
+	// Window accumulators, reset at each decision.
+	flushes   int
+	deadline  int
+	sizeSum   int
+	cooldown  bool
+	lastSheds int64
+}
+
+func newAutotuner(maxBatch int, maxWait time.Duration) *autotuner {
+	minWait := maxWait / 64
+	if minWait < 10*time.Microsecond {
+		minWait = 10 * time.Microsecond
+	}
+	if minWait > maxWait {
+		minWait = maxWait
+	}
+	return &autotuner{
+		ceilBatch: maxBatch,
+		ceilWait:  maxWait,
+		minWait:   minWait,
+		batch:     maxBatch,
+		wait:      maxWait,
+	}
+}
+
+// observe records one flush (full or deadline, its size, the queue depth
+// and cumulative shed count at flush time) and returns true when a window
+// completed and the effective configuration changed. The caller holds the
+// server lock, so the tuner needs no synchronization of its own.
+func (a *autotuner) observe(full bool, size, queued int, sheds int64) bool {
+	a.flushes++
+	a.sizeSum += size
+	if !full {
+		a.deadline++
+	}
+	if a.flushes < tuneWindow {
+		return false
+	}
+	shedsDelta := sheds - a.lastSheds
+	a.lastSheds = sheds
+	changed := false
+	if a.cooldown {
+		a.cooldown = false
+	} else {
+		changed = a.decide(queued, shedsDelta)
+		a.cooldown = changed
+	}
+	a.flushes, a.deadline, a.sizeSum = 0, 0, 0
+	return changed
+}
+
+// decide applies the controller policy to one completed window.
+func (a *autotuner) decide(queued int, shedsDelta int64) bool {
+	avg := (a.sizeSum + a.flushes/2) / a.flushes
+	if avg < 1 {
+		avg = 1
+	}
+	deadlineFrac := float64(a.deadline) / float64(a.flushes)
+	switch {
+	case shedsDelta > 0 && a.batch < a.ceilBatch:
+		// Overload: requests are being rejected, so trade latency for
+		// worker throughput with bigger batches.
+		a.batch = a.batch * 2
+		if a.batch > a.ceilBatch {
+			a.batch = a.ceilBatch
+		}
+	case deadlineFrac >= 0.5:
+		// Deadline-dominated: concurrency sits below the flush size, so
+		// every batch waits out the timer. Drop the flush size to the
+		// observed mean batch — batches then fill and dispatch
+		// immediately. If the size already matches and the timer still
+		// dominates, the arrivals are too sparse to coalesce: cut the
+		// deadline instead.
+		switch {
+		case avg < a.batch:
+			a.batch = avg
+		case a.wait > a.minWait:
+			a.wait /= 2
+			if a.wait < a.minWait {
+				a.wait = a.minWait
+			}
+		default:
+			return false
+		}
+	case a.deadline == 0 && queued >= 2*a.batch && a.batch < a.ceilBatch:
+		// Full-flushing with a backlog at least twice the flush size:
+		// demand clearly exceeds the shrunken batch, grow it back.
+		a.batch = a.batch * 2
+		if a.batch > a.ceilBatch {
+			a.batch = a.ceilBatch
+		}
+	case a.deadline == 0 && a.wait < a.ceilWait:
+		// The timer is not firing at all; restore deadline headroom so a
+		// future traffic drop is caught by a generous window again.
+		a.wait *= 2
+		if a.wait > a.ceilWait {
+			a.wait = a.ceilWait
+		}
+	default:
+		return false
+	}
+	a.adjustments++
+	return true
+}

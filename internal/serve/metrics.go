@@ -18,6 +18,10 @@ var (
 	mQueueDepth = metrics.Default().Gauge("serve.queue.depth")
 	mBatchSize  = metrics.Default().Histogram("serve.batch.size", metrics.LinearBuckets(1, 1, 64)...)
 	mLatency    = metrics.Default().Histogram("serve.latency.seconds", metrics.ExpBuckets(1e-6, 2, 24)...)
+
+	mTuneBatch  = metrics.Default().Gauge("serve.tune.batch")
+	mTuneWait   = metrics.Default().Gauge("serve.tune.wait.seconds")
+	mTuneAdjust = metrics.Default().Counter("serve.tune.adjustments")
 )
 
 func recordBatch(size int) {
@@ -53,6 +57,22 @@ func recordLatency(d time.Duration) {
 	}
 }
 
+// recordTune publishes the adaptive controller's effective knobs. Called
+// once at startup (so the gauges exist even before the first adjustment)
+// and on every change.
+func recordTune(batch int, wait time.Duration) {
+	if metrics.Enabled() {
+		mTuneBatch.Set(float64(batch))
+		mTuneWait.Set(wait.Seconds())
+	}
+}
+
+func recordTuneAdjust() {
+	if metrics.Enabled() {
+		mTuneAdjust.Inc()
+	}
+}
+
 // counters is the server's always-on internal ledger backing Stats.
 type counters struct {
 	requests      atomic.Int64
@@ -64,6 +84,7 @@ type counters struct {
 	completed     atomic.Int64
 	batchSizeSum  atomic.Int64
 	latencyNanos  atomic.Int64
+	adjustments   atomic.Int64
 }
 
 // BatcherStats is a point-in-time snapshot of the micro-batcher, returned
@@ -96,6 +117,14 @@ type BatcherStats struct {
 	// completed requests. Percentiles belong to the caller: the phiserve
 	// load generator computes p50/p99 from its own samples.
 	MeanLatencySeconds float64
+	// Adaptive reports whether the online batching controller is on;
+	// CurMaxBatch and CurMaxWait are its current effective knobs (equal to
+	// the configured MaxBatch/MaxWait when static or untouched), and
+	// Adjustments counts the knob changes it has applied.
+	Adaptive    bool
+	CurMaxBatch int
+	CurMaxWait  time.Duration
+	Adjustments int64
 }
 
 // Stats returns a consistent-enough snapshot of the batcher counters (each
@@ -110,9 +139,13 @@ func (s *Server) Stats() BatcherStats {
 		FlushDeadline: s.st.flushDeadline.Load(),
 		Sheds:         s.st.sheds.Load(),
 		Degrades:      s.st.degrades.Load(),
+		Adaptive:      s.cfg.Adaptive,
+		Adjustments:   s.st.adjustments.Load(),
 	}
 	s.mu.Lock()
 	st.QueueDepth = s.queued
+	st.CurMaxBatch = s.curBatch
+	st.CurMaxWait = s.curWait
 	s.mu.Unlock()
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(s.st.batchSizeSum.Load()) / float64(st.Batches)

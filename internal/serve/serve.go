@@ -194,6 +194,15 @@ type Config struct {
 	QueueDepth int
 	// Policy is the full-queue behavior (Block by default).
 	Policy Policy
+	// Adaptive enables the online batching controller: the effective flush
+	// size and deadline start at MaxBatch/MaxWait and are retuned from the
+	// live flush stream (flush-full vs flush-deadline ratio, queue depth,
+	// shed rate), erasing the latency cliff a static window hits when
+	// client concurrency sits below MaxBatch. MaxBatch stays a hard
+	// ceiling (worker staging buffers are sized to it) and MaxWait an
+	// upper bound. Adjustments are visible as serve.tune.* metrics and in
+	// BatcherStats.
+	Adaptive bool
 	// Precision is the numeric width of the worker forward path: F64 (the
 	// default) serves on the simulated device exactly as trained; F32
 	// serves from float32 weight snapshots on the packed f32 host kernels,
@@ -275,6 +284,13 @@ type Server struct {
 	queued   int
 	closed   bool
 
+	// curBatch/curWait are the effective batching knobs, equal to
+	// cfg.MaxBatch/cfg.MaxWait unless the adaptive controller moved them.
+	// Guarded by mu, like the tuner itself.
+	curBatch int
+	curWait  time.Duration
+	tuner    *autotuner
+
 	batches chan []*request
 	workers []*worker
 	wg      sync.WaitGroup
@@ -293,11 +309,17 @@ func New(m *Model, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		model:   m,
-		batches: make(chan []*request, cfg.QueueDepth),
+		cfg:      cfg,
+		model:    m,
+		batches:  make(chan []*request, cfg.QueueDepth),
+		curBatch: cfg.MaxBatch,
+		curWait:  cfg.MaxWait,
 	}
 	s.notFull = sync.NewCond(&s.mu)
+	if cfg.Adaptive {
+		s.tuner = newAutotuner(cfg.MaxBatch, cfg.MaxWait)
+		recordTune(s.curBatch, s.curWait)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := newWorker(s, i)
 		if err != nil {
@@ -366,11 +388,11 @@ func (s *Server) do(op Op, x []float64) ([]float64, error) {
 	s.st.requests.Add(1)
 	s.pending[op] = append(s.pending[op], r)
 	switch {
-	case len(s.pending[op]) >= s.cfg.MaxBatch:
+	case len(s.pending[op]) >= s.curBatch:
 		s.flushLocked(op, true)
 	case len(s.pending[op]) == 1:
 		gen := s.timerGen[op]
-		time.AfterFunc(s.cfg.MaxWait, func() { s.deadlineFlush(op, gen) })
+		time.AfterFunc(s.curWait, func() { s.deadlineFlush(op, gen) })
 	}
 	recordQueueDepth(s.queued)
 	s.mu.Unlock()
@@ -398,6 +420,15 @@ func (s *Server) flushLocked(op Op, full bool) {
 	}
 	recordBatch(len(batch))
 	s.batches <- batch
+	if s.tuner != nil && !s.closed {
+		if s.tuner.observe(full, len(batch), s.queued, s.st.sheds.Load()) {
+			s.curBatch = s.tuner.batch
+			s.curWait = s.tuner.wait
+			s.st.adjustments.Add(1)
+			recordTune(s.curBatch, s.curWait)
+			recordTuneAdjust()
+		}
+	}
 }
 
 // deadlineFlush fires when the oldest request of a pending queue has

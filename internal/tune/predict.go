@@ -1,0 +1,548 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"phideep/internal/kernels"
+	"phideep/internal/sim"
+)
+
+// This file implements the calibrated performance predictor: an analytical
+// cost model whose terms — GEMM, elementwise, scalar, memory, fork/join,
+// dispatch, transfer — are fit against a handful of short probe runs, then
+// used to predict full-run epoch time for every candidate in a grid without
+// simulating it.
+//
+// The mechanism rests on one structural fact: a training run's kernel
+// stream is identical for every candidate that shares (kernel level, fuse,
+// batch) — only the core/thread stamps on each op differ. So the predictor
+// captures the op stream once per such group at two short iteration counts
+// (one chunk and three chunks of the Fig. 5 pipeline), re-stamps it with
+// any candidate's cores and threads, extrapolates the per-term feature
+// totals linearly in iterations, and prices the result with the calibrated
+// coefficients. Concurrent groups (Fig. 6) are captured with their branch
+// structure and re-priced by replaying the device's core-sharing split, so
+// fused candidates predict as faithfully as unfused ones.
+
+// Feature indices of the linear model. Every feature is a nominal-seconds
+// total, so a perfectly calibrated coefficient is ≈1 and the fit learns
+// corrections (scheduling gaps, share rounding, overlap) rather than raw
+// hardware rates.
+const (
+	fConst    = iota // per-run constant: pipeline fill, first-chunk stall
+	fGemmVec         // vectorized GEMM compute time
+	fElemVec         // vectorized elementwise compute time
+	fScalar          // scalar compute time (non-vector kernels)
+	fMem             // memory-bound kernel time
+	fSync            // fork/join synchronization time
+	fDispatch        // per-op dispatch overhead (Matlab-style platforms)
+	nFeat
+)
+
+// FeatureNames labels the predictor's coefficients, index-aligned with
+// Predictor.Coefficients.
+var FeatureNames = [nFeat]string{
+	"const", "gemm-vec", "elem-vec", "scalar", "memory", "sync", "dispatch",
+}
+
+// Trace is a captured device activity stream: sequential kernel launches,
+// concurrent branch groups, and PCIe transfer sizes.
+type Trace struct {
+	Ops       []sim.Op
+	Groups    [][]sim.Op
+	Transfers []int64
+}
+
+func (t *Trace) observeOp(op sim.Op) { t.Ops = append(t.Ops, op) }
+
+func (t *Trace) observeGroup(ops []sim.Op) {
+	g := make([]sim.Op, len(ops))
+	copy(g, ops)
+	t.Groups = append(t.Groups, g)
+}
+
+func (t *Trace) observeTransfer(bytes int64) { t.Transfers = append(t.Transfers, bytes) }
+
+// restamp returns op carrying candidate c's execution configuration.
+func restamp(op sim.Op, c Candidate) sim.Op {
+	op.Cores = c.Cores
+	op.ThreadsPerCore = c.ThreadsPerCore
+	return op
+}
+
+// opFeatures adds one op's nominal time components to f, classifying the
+// op's binding side (compute vs memory) with the same roofline rules the
+// simulator's costing path applies.
+func opFeatures(a *sim.Arch, op sim.Op, f *[nFeat]float64) {
+	cores, tpc := a.ResolvedConfig(op)
+	flops, bytes := op.Flops(), op.Bytes()
+	var tc float64
+	idx := fScalar
+	switch {
+	case op.Kind == sim.OpGemm && op.Vector:
+		eff := a.GemmEffVector
+		if a.GemmWorkHalf > 0 {
+			eff = eff * flops / (flops + a.GemmWorkHalf)
+		}
+		tc = flops / (a.VectorPeak(cores, tpc) * eff)
+		idx = fGemmVec
+	case op.Vector:
+		tc = flops / (a.VectorPeak(cores, tpc) * 0.5)
+		idx = fElemVec
+	default:
+		tc = flops / a.ScalarPeak(cores, tpc)
+	}
+	if tm := bytes / a.Bandwidth(cores); tm > tc {
+		f[fMem] += tm
+	} else {
+		f[idx] += tc
+	}
+	if op.Level.IsParallel() && !op.Fused {
+		f[fSync] += a.SyncCost(cores * tpc)
+	}
+	f[fDispatch] += a.PerOpOverhead
+}
+
+// groupFeatures adds one concurrent group's contribution: it replays the
+// device's proportional core split over the re-stamped branches and
+// attributes the group's makespan — the slowest branch at its share — to
+// that branch's feature components.
+func groupFeatures(a *sim.Arch, ops []sim.Op, c Candidate, f *[nFeat]float64) {
+	k := len(ops)
+	if k == 1 {
+		opFeatures(a, restamp(ops[0], c), f)
+		return
+	}
+	full := make([]float64, k)
+	totalFull := 0.0
+	for i, op := range ops {
+		op = restamp(op, c)
+		op.Fused = true
+		full[i] = a.OpTime(op)
+		totalFull += full[i]
+	}
+	var slowest sim.Op
+	slowestDur := -1.0
+	for i, op := range ops {
+		op = restamp(op, c)
+		cores := op.Cores
+		if cores <= 0 {
+			if op.Level.IsParallel() {
+				cores = a.Cores
+			} else {
+				cores = 1
+			}
+		}
+		if op.Level.IsParallel() && totalFull > 0 {
+			share := int(float64(cores) * full[i] / totalFull)
+			if share < 1 {
+				share = 1
+			}
+			if share > cores {
+				share = cores
+			}
+			op.Cores = share
+		}
+		op.Fused = i > 0
+		if dur := a.OpTime(op); dur > slowestDur {
+			slowestDur = dur
+			slowest = op
+		}
+	}
+	opFeatures(a, slowest, f)
+}
+
+// traceFeatures prices a whole trace for candidate c.
+func traceFeatures(a *sim.Arch, tr *Trace, c Candidate) [nFeat]float64 {
+	var f [nFeat]float64
+	f[fConst] = 1
+	for _, op := range tr.Ops {
+		opFeatures(a, restamp(op, c), &f)
+	}
+	for _, g := range tr.Groups {
+		groupFeatures(a, g, c, &f)
+	}
+	return f
+}
+
+// transferSeconds totals the pure PCIe link occupancy of a trace.
+func transferSeconds(a *sim.Arch, tr *Trace) float64 {
+	t := 0.0
+	for _, b := range tr.Transfers {
+		t += a.TransferTime(b)
+	}
+	return t
+}
+
+// groupKey identifies candidates whose runs issue the identical kernel
+// stream (modulo core/thread stamps): same kernel implementation, same
+// fusion state, same minibatch size. core.OpenMPMKL and core.Improved map
+// to the same kernels, so they share a group.
+type groupKey struct {
+	level kernels.Level
+	fuse  bool
+	batch int
+}
+
+// groupTraces holds the two probe traces of one group, captured at i1 and
+// i2 iterations; feature totals extrapolate linearly between (and beyond)
+// them.
+type groupTraces struct {
+	i1, i2 int
+	t1, t2 *Trace
+}
+
+// Predictor is the calibrated performance model for one workload. Build it
+// with Calibrate; it is not safe for concurrent use.
+type Predictor struct {
+	w      Workload
+	arch   *sim.Arch
+	coef   [nFeat]float64
+	groups map[groupKey]*groupTraces
+
+	// CalibrationRuns counts the short probe evaluations executed and
+	// CalibrationEquations how many of them entered the least-squares fit
+	// (transfer-bound probes are excluded: their compute timeline is paced
+	// by the link, not by the kernels being fit).
+	CalibrationRuns      int
+	CalibrationEquations int
+}
+
+// Coefficients returns the fitted per-term correction factors,
+// index-aligned with FeatureNames. A value near 1 means the analytical
+// term matched the simulator; deviations absorb scheduling effects the
+// closed form does not model.
+func (p *Predictor) Coefficients() [nFeat]float64 { return p.coef }
+
+func (p *Predictor) keyOf(c Candidate) groupKey {
+	batch := c.Batch
+	if batch == 0 {
+		batch = p.w.DefaultBatch()
+	}
+	return groupKey{level: c.Level.KernelLevel(), fuse: c.Fuse, batch: batch}
+}
+
+// Calibrate builds a predictor for the workload by probing each behavior
+// group of the candidate grid with short runs: the group's widest
+// configuration runs at one and three chunks (giving the per-iteration
+// trace slope), and up to two more core/thread corners run at one chunk to
+// pin the fit across the configuration space. The per-term coefficients
+// are then fit by ridge-regularized non-negative least squares against the
+// probes' compute-engine times.
+func Calibrate(w Workload, cands []Candidate) (*Predictor, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("tune: no candidates to calibrate for")
+	}
+	p := &Predictor{w: w, arch: w.Platform(), groups: make(map[groupKey]*groupTraces)}
+	for _, c := range cands {
+		if err := c.validate(); err != nil {
+			return nil, fmt.Errorf("tune: %w", err)
+		}
+	}
+
+	// Group the grid by kernel-stream shape, preserving first-appearance
+	// order so calibration is deterministic.
+	var keys []groupKey
+	members := make(map[groupKey][]Candidate)
+	for _, c := range cands {
+		k := p.keyOf(c)
+		if _, ok := members[k]; !ok {
+			keys = append(keys, k)
+		}
+		members[k] = append(members[k], c)
+	}
+
+	var eqX [][nFeat]float64
+	var eqY []float64
+	probe := func(c Candidate, iters int) (*Trace, bool, error) {
+		tr := &Trace{}
+		r, err := w.Evaluate(c, iters, tr)
+		p.CalibrationRuns++
+		if err != nil {
+			return nil, false, err
+		}
+		// Transfer-bound probes make poor fit targets: the compute engine
+		// idles on the link, so its completion time does not reflect the
+		// kernel terms being calibrated.
+		if transferSeconds(p.arch, tr) <= 0.8*r.ComputeSeconds {
+			eqX = append(eqX, traceFeatures(p.arch, tr, c))
+			eqY = append(eqY, r.ComputeSeconds)
+			p.CalibrationEquations++
+			return tr, true, nil
+		}
+		return tr, false, nil
+	}
+
+	for _, key := range keys {
+		ms := probeCorners(members[key])
+		rep := ms[len(ms)-1] // widest configuration: most cores × threads
+		spc := w.StepsPerChunk(key.batch)
+		if spc < 1 {
+			spc = 1
+		}
+		i1, i2 := spc, 3*spc
+		g := &groupTraces{i1: i1, i2: i2}
+		var err error
+		if g.t1, _, err = probe(rep, i1); err != nil {
+			return nil, fmt.Errorf("tune: calibrating %v at %d iterations: %w", rep, i1, err)
+		}
+		if g.t2, _, err = probe(rep, i2); err != nil {
+			return nil, fmt.Errorf("tune: calibrating %v at %d iterations: %w", rep, i2, err)
+		}
+		p.groups[key] = g
+		// Corner probes only add fit equations; a failure there loses an
+		// equation, not the group.
+		for _, c := range ms[:len(ms)-1] {
+			if _, _, err := probe(c, i1); err != nil {
+				return nil, fmt.Errorf("tune: calibrating %v at %d iterations: %w", c, i1, err)
+			}
+		}
+	}
+	p.coef = fitNonNegRidge(eqX, eqY)
+	return p, nil
+}
+
+// probeCorners picks up to three probe configurations from a group:
+// narrowest, a middle point, and widest by (cores, threads), after
+// deduplicating the core/thread stamps. The widest is always last — it is
+// the trace representative.
+func probeCorners(ms []Candidate) []Candidate {
+	type ct struct{ cores, tpc int }
+	seen := make(map[ct]bool)
+	uniq := make([]Candidate, 0, len(ms))
+	for _, c := range ms {
+		k := ct{c.Cores, c.ThreadsPerCore}
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, c)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].Cores != uniq[j].Cores {
+			return uniq[i].Cores < uniq[j].Cores
+		}
+		return uniq[i].ThreadsPerCore < uniq[j].ThreadsPerCore
+	})
+	if len(uniq) <= 3 {
+		return uniq
+	}
+	return []Candidate{uniq[0], uniq[len(uniq)/2], uniq[len(uniq)-1]}
+}
+
+// Predict estimates the full-run simulated seconds for candidate c: the
+// group's trace features are re-stamped with c's configuration,
+// extrapolated to c's iteration count, priced by the calibrated
+// coefficients, and combined with the analytical transfer time under the
+// double-buffering overlap rule (whichever engine binds, the other's final
+// chunk tails out).
+func (p *Predictor) Predict(c Candidate) (float64, error) {
+	if err := c.validate(); err != nil {
+		return 0, fmt.Errorf("tune: %w", err)
+	}
+	key := p.keyOf(c)
+	g, ok := p.groups[key]
+	if !ok {
+		return 0, fmt.Errorf("tune: candidate %v outside the calibrated grid", c)
+	}
+	iters := EffectiveIters(p.w, c)
+	scale := float64(iters-g.i1) / float64(g.i2-g.i1)
+	f1 := traceFeatures(p.arch, g.t1, c)
+	f2 := traceFeatures(p.arch, g.t2, c)
+	compute := 0.0
+	for i := 0; i < nFeat; i++ {
+		compute += p.coef[i] * (f1[i] + (f2[i]-f1[i])*scale)
+	}
+	tx1 := transferSeconds(p.arch, g.t1)
+	tx2 := transferSeconds(p.arch, g.t2)
+	tx := tx1 + (tx2-tx1)*scale
+	spc := p.w.StepsPerChunk(key.batch)
+	if spc < 1 {
+		spc = 1
+	}
+	chunks := (iters + spc - 1) / spc
+	if chunks < 1 {
+		chunks = 1
+	}
+	pred := compute
+	if alt := tx + compute/float64(chunks); alt > pred {
+		pred = alt
+	}
+	return pred, nil
+}
+
+// Rank predicts every candidate and returns them fastest-predicted first,
+// along with any candidates the predictor could not price.
+func (p *Predictor) Rank(cands []Candidate) ([]Scored, []CandidateError) {
+	var ranked []Scored
+	var failed []CandidateError
+	for _, c := range cands {
+		t, err := p.Predict(c)
+		if err != nil {
+			failed = append(failed, CandidateError{Candidate: c, Err: err})
+			continue
+		}
+		ranked = append(ranked, Scored{Candidate: c, Predicted: t})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].Predicted < ranked[j].Predicted })
+	return ranked, failed
+}
+
+// PrunedSearch is the predictor-guided search: calibrate on short probes,
+// rank the whole grid by predicted time, then spend full simulated
+// evaluations only on the predicted top k. The returned Result carries both
+// the full evaluations (All, with Predicted filled in) and the complete
+// predicted ranking (Predicted); Pruned counts the candidates never fully
+// evaluated.
+func PrunedSearch(w Workload, cands []Candidate, topK int) (*Result, *Predictor, error) {
+	p, err := Calibrate(w, cands)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranked, rankFailed := p.Rank(cands)
+	if len(ranked) == 0 {
+		return nil, p, fmt.Errorf("tune: no candidate could be predicted")
+	}
+	k := topK
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	top := make([]Candidate, k)
+	predicted := make(map[Candidate]float64, len(ranked))
+	for i, s := range ranked {
+		predicted[s.Candidate] = s.Predicted
+		if i < k {
+			top[i] = s.Candidate
+		}
+	}
+	res, err := GridSearch(WorkloadObjective(w), top)
+	if res != nil {
+		res.Predicted = ranked
+		res.Pruned = len(ranked) - k
+		res.Failed = append(res.Failed, rankFailed...)
+		for i := range res.All {
+			res.All[i].Predicted = predicted[res.All[i].Candidate]
+		}
+		if len(res.All) > 0 {
+			res.Best = res.All[0]
+		}
+	}
+	return res, p, err
+}
+
+// fitNonNegRidge solves min‖Xθ−y‖² + λ‖θ‖² subject to θ ≥ 0 by iterated
+// active-set clamping on the ridge normal equations. With no usable
+// equations it returns the nominal model (all coefficients 1).
+func fitNonNegRidge(x [][nFeat]float64, y []float64) [nFeat]float64 {
+	var coef [nFeat]float64
+	if len(x) == 0 {
+		for i := range coef {
+			coef[i] = 1
+		}
+		return coef
+	}
+	var xtx [nFeat][nFeat]float64
+	var xty [nFeat]float64
+	for r := range x {
+		for i := 0; i < nFeat; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := 0; j < nFeat; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	trace := 0.0
+	for i := 0; i < nFeat; i++ {
+		trace += xtx[i][i]
+	}
+	lambda := 1e-8 * (trace/nFeat + 1e-300)
+
+	active := make([]int, 0, nFeat)
+	for i := 0; i < nFeat; i++ {
+		active = append(active, i)
+	}
+	for iter := 0; iter <= nFeat; iter++ {
+		n := len(active)
+		if n == 0 {
+			break
+		}
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		for i, fi := range active {
+			a[i] = make([]float64, n)
+			for j, fj := range active {
+				a[i][j] = xtx[fi][fj]
+			}
+			a[i][i] += lambda
+			b[i] = xty[fi]
+		}
+		sol, ok := solve(a, b)
+		if !ok {
+			break
+		}
+		next := active[:0:cap(active)]
+		clamped := false
+		for i, fi := range active {
+			if sol[i] < 0 {
+				coef[fi] = 0
+				clamped = true
+			} else {
+				coef[fi] = sol[i]
+				next = append(next, fi)
+			}
+		}
+		if !clamped {
+			return coef
+		}
+		active = next
+	}
+	return coef
+}
+
+// solve performs Gaussian elimination with partial pivoting on the n×n
+// system a·x = b, in place.
+func solve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) == 0 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < n; r++ {
+			m := a[r][col] / a[col][col]
+			if m == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= m * a[col][k]
+			}
+			b[r] -= m * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < n; k++ {
+			s -= a[r][k] * x[k]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,172 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/core"
+	"phideep/internal/sim"
+)
+
+// predictWorkload is sized so probe runs (one and three chunks) are an
+// order of magnitude shorter than the full run the predictor extrapolates
+// to.
+func predictWorkload(arch *sim.Arch) AEWorkload {
+	return AEWorkload{
+		Arch:            arch,
+		Model:           autoencoder.Config{Visible: 256, Hidden: 1024},
+		Batch:           250,
+		Iterations:      100,
+		DatasetExamples: 2000,
+	}
+}
+
+// TestPredictorAccuracy is the headline acceptance check: after calibrating
+// on short probe runs, the predicted epoch time of every candidate in the
+// default grid must land within 15% of its fully simulated time — on both
+// stock platform profiles.
+func TestPredictorAccuracy(t *testing.T) {
+	for _, arch := range []*sim.Arch{sim.XeonPhi5110P(), sim.XeonE5620Dual()} {
+		t.Run(arch.Name, func(t *testing.T) {
+			w := predictWorkload(arch)
+			cands := DefaultCandidates(arch)
+			p, err := Calibrate(w, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.CalibrationRuns >= len(cands) {
+				t.Fatalf("calibration ran %d probes for a %d-candidate grid — not cheaper than exhaustive",
+					p.CalibrationRuns, len(cands))
+			}
+			worst := 0.0
+			var worstC Candidate
+			for _, c := range cands {
+				pred, err := p.Predict(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := w.Evaluate(c, EffectiveIters(w, c), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rel := abs(pred-r.SimSeconds) / r.SimSeconds
+				if rel > worst {
+					worst, worstC = rel, c
+				}
+			}
+			t.Logf("worst relative error %.1f%% at %v", 100*worst, worstC)
+			if worst > 0.15 {
+				t.Fatalf("prediction off by %.1f%% at %v (tolerance 15%%)", 100*worst, worstC)
+			}
+		})
+	}
+}
+
+// TestPrunedSearchFindsExhaustiveBest: the predictor-pruned search must pick
+// the same best configuration as the exhaustive grid while fully evaluating
+// only the predicted top k.
+func TestPrunedSearchFindsExhaustiveBest(t *testing.T) {
+	w := predictWorkload(sim.XeonPhi5110P())
+	cands := DefaultCandidates(w.Arch)
+	exhaustive, err := GridSearch(WorkloadObjective(w), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const topK = 8
+	pruned, p, err := PrunedSearch(w, cands, topK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Best.Candidate != exhaustive.Best.Candidate {
+		t.Fatalf("pruned search picked %v (%g s), exhaustive picked %v (%g s)",
+			pruned.Best.Candidate, pruned.Best.SimSeconds,
+			exhaustive.Best.Candidate, exhaustive.Best.SimSeconds)
+	}
+	if len(pruned.All) != topK {
+		t.Fatalf("fully evaluated %d candidates, want %d", len(pruned.All), topK)
+	}
+	if pruned.Pruned != len(cands)-topK {
+		t.Fatalf("Pruned = %d, want %d", pruned.Pruned, len(cands)-topK)
+	}
+	if len(pruned.Predicted) != len(cands) {
+		t.Fatalf("predicted ranking covers %d of %d candidates", len(pruned.Predicted), len(cands))
+	}
+	if pruned.Best.Predicted == 0 {
+		t.Fatal("best candidate lost its predicted time")
+	}
+	if p.CalibrationEquations == 0 {
+		t.Fatal("no probe entered the calibration fit")
+	}
+	for i, v := range p.Coefficients() {
+		if v < 0 {
+			t.Fatalf("negative coefficient %s = %g", FeatureNames[i], v)
+		}
+	}
+}
+
+// TestCandidateLevelRespected: the evaluation must honor Candidate.Level
+// rather than hard-coding the Improved ladder step (the original bug), and
+// OpenMP+MKL with Fuse set must be exactly the Improved configuration.
+func TestCandidateLevelRespected(t *testing.T) {
+	w := predictWorkload(sim.XeonPhi5110P())
+	w.Iterations = 10
+	eval := func(c Candidate) float64 {
+		r, err := w.Evaluate(c, w.Iterations, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.SimSeconds
+	}
+	base := eval(Candidate{Level: core.Baseline, Cores: 60, ThreadsPerCore: 4})
+	omp := eval(Candidate{Level: core.OpenMP, Cores: 60, ThreadsPerCore: 4})
+	mkl := eval(Candidate{Level: core.OpenMPMKL, Cores: 60, ThreadsPerCore: 4, Fuse: true})
+	imp := eval(Candidate{Level: core.Improved, Cores: 60, ThreadsPerCore: 4, Fuse: true})
+	if !(base > omp && omp > mkl) {
+		t.Fatalf("ladder does not improve: baseline %g, openmp %g, mkl+fused %g", base, omp, mkl)
+	}
+	if mkl != imp {
+		t.Fatalf("OpenMP+MKL fused (%g) differs from Improved fused (%g)", mkl, imp)
+	}
+}
+
+// TestWorkloadSeedAndDeterminism: the workload's Seed field reaches the
+// evaluation (zero defaults to the historical seed 1) and evaluation is
+// fully deterministic.
+func TestWorkloadSeedAndDeterminism(t *testing.T) {
+	c := Candidate{Level: core.OpenMPMKL, Cores: 60, ThreadsPerCore: 2, Fuse: true}
+	w := predictWorkload(sim.XeonPhi5110P())
+	w.Iterations = 10
+	a, err := w.Evaluate(c, w.Iterations, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Evaluate(c, w.Iterations, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+	w.Seed = 7
+	if _, err := w.Evaluate(c, w.Iterations, nil); err != nil {
+		t.Fatalf("seeded evaluation failed: %v", err)
+	}
+}
+
+// TestEvaluateLeakFree: when a candidate evaluation fails mid-build (here:
+// device memory exhausted after some buffers were already allocated), every
+// allocation must still be released. leakCheck folds any residue into the
+// returned error, so an error mentioning a leak is the regression.
+func TestEvaluateLeakFree(t *testing.T) {
+	arch := *sim.XeonPhi5110P()
+	arch.GlobalMemBytes = 12 << 20 // first weight matrix fits, the rest do not
+	w := predictWorkload(&arch)
+	_, err := w.Evaluate(Candidate{Level: core.OpenMPMKL, Cores: 60, ThreadsPerCore: 4, Fuse: true}, 10, nil)
+	if err == nil {
+		t.Fatal("expected an out-of-memory failure")
+	}
+	if strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("failed evaluation leaked device memory: %v", err)
+	}
+}

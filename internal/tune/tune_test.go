@@ -2,10 +2,12 @@ package tune
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
 	"phideep/internal/autoencoder"
+	"phideep/internal/core"
 	"phideep/internal/sim"
 )
 
@@ -49,7 +51,7 @@ func TestTunerFindsTheKnownOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := w.Objective()
-	defaultT, err := obj(Candidate{Cores: 60, ThreadsPerCore: 4, Fuse: true})
+	defaultT, err := obj(Candidate{Level: core.OpenMPMKL, Cores: 60, ThreadsPerCore: 4, Fuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +76,11 @@ func TestTunerPrefersFewerThreadsWhenSyncBound(t *testing.T) {
 	w := testWorkload()
 	w.Batch, w.Iterations = 200, 50 // launch-overhead-bound regime
 	obj := w.Objective()
-	t2, err := obj(Candidate{Cores: 60, ThreadsPerCore: 2, Fuse: true})
+	t2, err := obj(Candidate{Level: core.OpenMPMKL, Cores: 60, ThreadsPerCore: 2, Fuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t4, err := obj(Candidate{Cores: 60, ThreadsPerCore: 4, Fuse: true})
+	t4, err := obj(Candidate{Level: core.OpenMPMKL, Cores: 60, ThreadsPerCore: 4, Fuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,8 +91,8 @@ func TestTunerPrefersFewerThreadsWhenSyncBound(t *testing.T) {
 
 func TestDefaultCandidatesCoverGrid(t *testing.T) {
 	cands := DefaultCandidates(sim.XeonPhi5110P())
-	// 4 core options × 4 tpc × 2 fusion = 32.
-	if len(cands) != 32 {
+	// 2 levels × 4 core options × 4 tpc × 2 fusion = 64.
+	if len(cands) != 64 {
 		t.Fatalf("got %d candidates", len(cands))
 	}
 	seen := map[Candidate]bool{}
@@ -103,8 +105,8 @@ func TestDefaultCandidatesCoverGrid(t *testing.T) {
 			t.Fatalf("candidate out of range: %v", c)
 		}
 	}
-	// Single-core arch collapses the core axis.
-	if n := len(DefaultCandidates(sim.XeonE5620Core())); n != 2 {
+	// Single-core arch collapses the core axis: 2 levels × 2 fusion.
+	if n := len(DefaultCandidates(sim.XeonE5620Core())); n != 4 {
 		t.Fatalf("1-core arch yielded %d candidates", n)
 	}
 }
@@ -113,21 +115,68 @@ func TestGridSearchErrors(t *testing.T) {
 	if _, err := GridSearch(func(Candidate) (float64, error) { return 0, nil }, nil); err == nil {
 		t.Error("empty grid must fail")
 	}
+	grid := []Candidate{
+		{Cores: 1, ThreadsPerCore: 1},
+		{Cores: 2, ThreadsPerCore: 1},
+		{Cores: 3, ThreadsPerCore: 1},
+	}
 	boom := errors.New("boom")
-	if _, err := GridSearch(func(Candidate) (float64, error) { return 0, boom }, []Candidate{{1, 1, false}}); err == nil || !errors.Is(err, boom) {
+	res, err := GridSearch(func(Candidate) (float64, error) { return 0, boom }, grid)
+	if err == nil || !errors.Is(err, boom) {
 		t.Errorf("all-failing grid: err %v", err)
 	}
-	// Partial failures are tolerated.
-	calls := 0
-	res, err := GridSearch(func(c Candidate) (float64, error) {
-		calls++
-		if calls == 1 {
-			return 0, boom
+	// Every candidate's failure must be reported, not just the first: the
+	// aggregate error and Result.Failed both carry the full breakdown.
+	if len(res.Failed) != len(grid) {
+		t.Fatalf("recorded %d failures, want %d", len(res.Failed), len(grid))
+	}
+	for i, f := range res.Failed {
+		if f.Candidate != grid[i] {
+			t.Fatalf("failure %d is for %v, want %v", i, f.Candidate, grid[i])
 		}
-		return float64(calls), nil
-	}, []Candidate{{1, 1, false}, {2, 1, false}})
-	if err != nil || len(res.All) != 1 {
-		t.Fatalf("partial failure handling wrong: %v %v", res, err)
+		if !errors.Is(f.Err, boom) {
+			t.Fatalf("failure %d lost its cause: %v", i, f.Err)
+		}
+		if !strings.Contains(err.Error(), f.Candidate.String()) {
+			t.Fatalf("aggregate error omits candidate %v: %v", f.Candidate, err)
+		}
+	}
+}
+
+// TestGridSearchRecordsPartialFailures: a grid where some candidates fail
+// must still rank the survivors and keep every failure on Result.Failed.
+// (The original implementation kept only the first error and dropped the
+// rest.)
+func TestGridSearchRecordsPartialFailures(t *testing.T) {
+	grid := []Candidate{
+		{Cores: 1, ThreadsPerCore: 1},
+		{Cores: 2, ThreadsPerCore: 1},
+		{Cores: 3, ThreadsPerCore: 1},
+		{Cores: 4, ThreadsPerCore: 1},
+	}
+	boom := errors.New("boom")
+	res, err := GridSearch(func(c Candidate) (float64, error) {
+		if c.Cores%2 == 1 {
+			return 0, fmt.Errorf("cores=%d: %w", c.Cores, boom)
+		}
+		return float64(10 - c.Cores), nil
+	}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 2 || len(res.Failed) != 2 {
+		t.Fatalf("got %d ranked, %d failed; want 2 and 2", len(res.All), len(res.Failed))
+	}
+	if res.Best.Cores != 4 {
+		t.Fatalf("best %v, want the 4-core survivor", res.Best.Candidate)
+	}
+	if res.Failed[0].Candidate.Cores != 1 || res.Failed[1].Candidate.Cores != 3 {
+		t.Fatalf("failures out of order: %v", res.Failed)
+	}
+	for _, f := range res.Failed {
+		if !errors.Is(f, boom) {
+			t.Fatalf("CandidateError does not unwrap to its cause: %v", f)
+		}
 	}
 }
 

@@ -195,10 +195,20 @@ type (
 	ClusterReport = cluster.Report
 
 	// TuneCandidate is one execution configuration for the auto-tuner;
-	// TuneResult its ranked outcome; TuneAEWorkload a tunable workload.
-	TuneCandidate  = tune.Candidate
-	TuneResult     = tune.Result
-	TuneAEWorkload = tune.AEWorkload
+	// TuneResult its ranked outcome; TuneWorkload anything the tuner can
+	// evaluate — TuneAEWorkload, TuneMLPWorkload and TuneConvWorkload are
+	// the stock implementations for the three model families.
+	TuneCandidate    = tune.Candidate
+	TuneResult       = tune.Result
+	TuneWorkload     = tune.Workload
+	TuneAEWorkload   = tune.AEWorkload
+	TuneMLPWorkload  = tune.MLPWorkload
+	TuneConvWorkload = tune.ConvWorkload
+	// TunePredictor is the calibrated performance model built by
+	// TuneCalibrate: an analytical cost model fit from short probe runs
+	// that predicts full-run epoch time for any candidate without
+	// simulating it.
+	TunePredictor = tune.Predictor
 
 	// Server coalesces concurrent single-example inference requests into
 	// micro-batches executed on device-bound workers — the online serving
@@ -487,6 +497,25 @@ func NewHybridAE(phiCtx, hostCtx *Context, cfg HybridAEConfig, seed uint64) (*Hy
 	return hybrid.BuildAE(phiCtx, hostCtx, cfg)
 }
 
+// TuneDefaultCandidates enumerates the standard tuning grid for a
+// platform: optimization level × cores × threads/core × fusion.
+func TuneDefaultCandidates(arch *Arch) []TuneCandidate { return tune.DefaultCandidates(arch) }
+
+// TuneCalibrate fits the calibrated performance predictor for a workload
+// from short probe runs against the simulator; the result predicts any
+// grid candidate's full-run epoch time without simulating it.
+func TuneCalibrate(w TuneWorkload, cands []TuneCandidate) (*TunePredictor, error) {
+	return tune.Calibrate(w, cands)
+}
+
+// TunePrunedSearch is the predictor-guided search: calibrate on short
+// probes, rank the grid by predicted epoch time, then spend full simulated
+// evaluations only on the predicted top k. See `phibench -tune` for the
+// CLI demonstration.
+func TunePrunedSearch(w TuneWorkload, cands []TuneCandidate, topK int) (*TuneResult, *TunePredictor, error) {
+	return tune.PrunedSearch(w, cands, topK)
+}
+
 // ServeOption adjusts a ServeConfig in NewServer. Options compose left to
 // right after the explicit config, so they win over its field values:
 //
@@ -498,6 +527,14 @@ type ServeOption func(*ServeConfig)
 // simulated device, PrecisionF32 runs the reduced-precision host kernels.
 func WithPrecision(p Precision) ServeOption {
 	return func(c *ServeConfig) { c.Precision = p }
+}
+
+// WithAdaptive enables the online batching controller
+// (ServeConfig.Adaptive): the effective flush size and deadline are
+// retuned from the live flush stream, with MaxBatch/MaxWait as hard
+// ceilings. See `phiserve -adaptive`.
+func WithAdaptive() ServeOption {
+	return func(c *ServeConfig) { c.Adaptive = true }
 }
 
 // NewServer builds an online inference server over a ServeModel: Workers
