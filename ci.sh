@@ -45,6 +45,11 @@ go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/.
 # identical ledger on back-to-back runs (fault injection is seeded, never
 # wall-clock dependent).
 go test -run TestClusterRecovery -count=2 ./internal/cluster/
+# Serving chaos gate: the fault-injected serving suite (transient storms,
+# permanent replica loss, fail-fast at zero workers) must hold under the
+# race detector, and twice in a row — the injected fault streams are
+# seeded, so outcomes and fault ledgers must replay identically.
+go test -race -run 'TestChaos' -count=2 ./internal/serve/
 # Serving smoke: the closed-loop load generator must sustain concurrent
 # clients against the in-process server and print a latency report.
 go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 -duration 2s
@@ -53,6 +58,13 @@ go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 -dura
 # include the "adaptive:" line showing the controller engaged.
 go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 \
     -max-batch 16 -max-wait 10ms -duration 2s -adaptive | grep "adaptive:"
+# Degradation smoke: loadgen against a fault-injected server (transient +
+# permanent faults, seeded; restart budget high enough that the supervisor
+# rebuilds through the permanent losses). Every outcome must be typed —
+# the report's "health:" line proves the server stayed up and counting.
+go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 \
+    -duration 2s -fault-rate 0.05 -fault-permanent 0.2 -fault-seed 7 \
+    -workers 2 -max-restarts 100 | grep "health:"
 # Convnet train-then-serve smoke: train on labeled digits, export a PHCK
 # checkpoint, and serve /predict from it through the load generator (the
 # geometry flags must match between the two commands).

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,7 +18,9 @@ import (
 // Closed-loop load is the natural probe for a micro-batcher: concurrency
 // directly bounds the coalescing the batcher can achieve, so sweeping
 // -clients against -max-wait maps the latency/throughput trade-off (see
-// EXPERIMENTS.md).
+// EXPERIMENTS.md). Under -fault-rate the report also separates the typed
+// failure classes (deadline, worker fault, server down) and prints the
+// health line, so a chaos run's degradation is visible at a glance.
 func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, duration time.Duration, maxWait time.Duration, policyName string, seed uint64) error {
 	if clients <= 0 {
 		return fmt.Errorf("loadgen: need at least one client, got %d", clients)
@@ -29,9 +32,12 @@ func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, du
 	dim := srv.Model().InputDim()
 
 	type clientResult struct {
-		lats  []time.Duration
-		sheds int
-		errs  int
+		lats      []time.Duration
+		sheds     int
+		deadlines int
+		faults    int
+		down      int
+		errs      int
 	}
 	results := make([]clientResult, clients)
 	deadline := time.Now().Add(duration)
@@ -49,11 +55,21 @@ func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, du
 				x[rng.Intn(dim)] = rng.Float64()
 				t0 := time.Now()
 				_, err := call(x)
+				var wf *phideep.WorkerFaultError
 				switch {
 				case err == nil:
 					res.lats = append(res.lats, time.Since(t0))
-				case err == phideep.ErrOverloaded:
+				case errors.Is(err, phideep.ErrOverloaded):
 					res.sheds++
+				case errors.Is(err, phideep.ErrDeadline):
+					res.deadlines++
+				case errors.Is(err, phideep.ErrServerDown):
+					// Down is terminal (every replica retired): keep the
+					// observation and stop instead of spinning on it.
+					res.down++
+					return
+				case errors.As(err, &wf):
+					res.faults++
 				default:
 					res.errs++
 				}
@@ -63,26 +79,30 @@ func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, du
 	wg.Wait()
 
 	var all []time.Duration
-	sheds, errs := 0, 0
+	sheds, deadlines, faults, down, errs := 0, 0, 0, 0, 0
 	for _, r := range results {
 		all = append(all, r.lats...)
 		sheds += r.sheds
+		deadlines += r.deadlines
+		faults += r.faults
+		down += r.down
 		errs += r.errs
 	}
+	st := srv.Stats()
 	if len(all) == 0 {
-		return fmt.Errorf("loadgen: no request completed (%d shed, %d failed)", sheds, errs)
+		return fmt.Errorf("loadgen: no request completed (%d shed, %d deadline, %d faulted, %d down, %d failed; health=%s)",
+			sheds, deadlines, faults, down, errs, st.Health)
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	var sum time.Duration
 	for _, d := range all {
 		sum += d
 	}
-	st := srv.Stats()
 
 	fmt.Fprintf(w, "phiserve loadgen: op=%s clients=%d duration=%v max-wait=%v policy=%s precision=%s\n",
 		opName, clients, duration, maxWait, policyName, st.Precision)
-	fmt.Fprintf(w, "  requests: %d ok, %d shed, %d failed (%.1f req/s)\n",
-		len(all), sheds, errs, float64(len(all))/duration.Seconds())
+	fmt.Fprintf(w, "  requests: %d ok, %d shed, %d deadline, %d faulted, %d down, %d failed (%.1f req/s)\n",
+		len(all), sheds, deadlines, faults, down, errs, float64(len(all))/duration.Seconds())
 	fmt.Fprintf(w, "  latency:  mean=%v p50=%v p90=%v p99=%v max=%v\n",
 		(sum / time.Duration(len(all))).Round(time.Microsecond),
 		pct(all, 50).Round(time.Microsecond), pct(all, 90).Round(time.Microsecond),
@@ -91,6 +111,9 @@ func runLoadgen(w io.Writer, srv *phideep.Server, opName string, clients int, du
 		st.Sheds, st.Degrades)
 	fmt.Fprintf(w, "  batcher:  %d batches, avg size %.2f (%d full, %d deadline flushes)\n",
 		st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
+	fmt.Fprintf(w, "  health:   %s (%d/%d workers live), %d fault batches, %d retries, %d redispatches, %d restarts, %d retired\n",
+		st.Health, st.WorkersLive, st.WorkersConfigured,
+		st.FaultBatches, st.FaultRetries, st.Redispatches, st.Restarts, st.Retired)
 	if st.Adaptive {
 		fmt.Fprintf(w, "  adaptive: %d adjustments, effective batch<=%d wait<=%v\n",
 			st.Adjustments, st.CurMaxBatch, st.CurMaxWait)

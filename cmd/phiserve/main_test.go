@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -183,19 +185,60 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("status %d", r.StatusCode)
 	}
 	var h struct {
-		Status   string   `json:"status"`
-		Model    string   `json:"model"`
-		InputDim int      `json:"input_dim"`
-		Ops      []string `json:"ops"`
+		Status            string   `json:"status"`
+		Model             string   `json:"model"`
+		InputDim          int      `json:"input_dim"`
+		Ops               []string `json:"ops"`
+		WorkersLive       int      `json:"workers_live"`
+		WorkersConfigured int      `json:"workers_configured"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Model != "autoencoder" || h.InputDim != 12 {
+	if h.Status != "healthy" || h.Model != "autoencoder" || h.InputDim != 12 {
 		t.Fatalf("healthz = %+v", h)
 	}
 	if len(h.Ops) != 2 {
 		t.Fatalf("ops = %v, want encode+reconstruct", h.Ops)
+	}
+	if h.WorkersLive != h.WorkersConfigured || h.WorkersLive < 1 {
+		t.Fatalf("healthz workers = %d/%d, want all live", h.WorkersLive, h.WorkersConfigured)
+	}
+}
+
+// TestHealthzDraining checks the readiness flip: a draining server must
+// answer 503 so a load balancer pulls it from rotation before shutdown.
+func TestHealthzDraining(t *testing.T) {
+	cfg := phideep.AutoencoderConfig{Visible: 12, Hidden: 5, Seed: 7}
+	srv, err := phideep.NewServer(phideep.ServeAutoencoder(cfg, nil), phideep.ServeConfig{
+		Level: phideep.Baseline, MaxBatch: 4, MaxWait: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(newMux(srv, time.Now()))
+	t.Cleanup(ts.Close)
+
+	if err := srv.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", r.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("status = %q, want draining", h.Status)
 	}
 }
 
@@ -231,6 +274,119 @@ func TestStatusFor(t *testing.T) {
 	}
 	if got := statusFor(phideep.ErrServerClosed); got != http.StatusServiceUnavailable {
 		t.Fatalf("closed -> %d, want 503", got)
+	}
+	if got := statusFor(phideep.ErrServerDown); got != http.StatusServiceUnavailable {
+		t.Fatalf("down -> %d, want 503", got)
+	}
+	if got := statusFor(phideep.ErrDeadline); got != http.StatusGatewayTimeout {
+		t.Fatalf("deadline -> %d, want 504", got)
+	}
+	wf := &phideep.WorkerFaultError{Worker: 1, Restarts: 3, Cause: errors.New("boom")}
+	if got := statusFor(fmt.Errorf("request: %w", wf)); got != http.StatusInternalServerError {
+		t.Fatalf("worker fault -> %d, want 500", got)
+	}
+}
+
+// TestDrainAndShutdown exercises the graceful exit end to end at the
+// httptest level: queued requests complete with correct answers, the
+// batcher reports draining, and post-drain calls are refused.
+func TestDrainAndShutdown(t *testing.T) {
+	cfg := phideep.AutoencoderConfig{Visible: 12, Hidden: 5, Seed: 7}
+	p := autoencoder.NewParams(cfg, cfg.Seed)
+	srv, err := phideep.NewServer(phideep.ServeAutoencoder(cfg, p), phideep.ServeConfig{
+		Level: phideep.Baseline, MaxBatch: 4, MaxWait: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(newMux(srv, time.Now()))
+	t.Cleanup(ts.Close)
+
+	// Two requests park in the queue: MaxBatch 4 never fills and the hour
+	// deadline never fires, so only the drain can flush them.
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.05 * float64(i)
+	}
+	type reply struct {
+		status int
+		out    []float64
+	}
+	replies := make(chan reply, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, got := postInfer(t, ts.URL+"/encode", x)
+			replies <- reply{resp.StatusCode, got.Output}
+		}()
+	}
+	waitFor(t, func() bool { return srv.Stats().QueueDepth == 2 })
+
+	var log bytes.Buffer
+	if err := drainAndShutdown(&log, srv, ts.Config, 5*time.Second); err != nil {
+		t.Fatalf("drainAndShutdown: %v", err)
+	}
+
+	want := make([]float64, 5)
+	p.Encode(x, want)
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("queued request: status %d after drain, want 200", r.status)
+		}
+		for j := range want {
+			if r.out[j] != want[j] {
+				t.Fatalf("drained output[%d] = %v, want %v", j, r.out[j], want[j])
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.Health != "draining" || st.Completed != 2 || st.QueueDepth != 0 {
+		t.Fatalf("post-drain stats: health=%s completed=%d queued=%d", st.Health, st.Completed, st.QueueDepth)
+	}
+	if _, err := srv.Encode(x); err != phideep.ErrServerClosed {
+		t.Fatalf("post-drain Encode: %v, want ErrServerClosed", err)
+	}
+	if !bytes.Contains(log.Bytes(), []byte("drained")) {
+		t.Fatalf("drain log missing summary: %q", log.String())
+	}
+}
+
+// waitFor polls cond at microsecond granularity with a 5s cap.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestLoadgenFaultReport runs the in-process load generator against a
+// fault-injected server and checks the report carries the health line and
+// no request falls outside the typed outcome classes.
+func TestLoadgenFaultReport(t *testing.T) {
+	cfg := phideep.AutoencoderConfig{Visible: 12, Hidden: 5, Seed: 7}
+	srv, err := phideep.NewServer(phideep.ServeAutoencoder(cfg, nil), phideep.ServeConfig{
+		Level: phideep.Baseline, MaxBatch: 4, MaxWait: 200 * time.Microsecond,
+		Faults: phideep.FaultConfig{Rate: 0.05, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := runLoadgen(&out, srv, "", 4, 300*time.Millisecond, 200*time.Microsecond, "block", 1); err != nil {
+		t.Fatalf("runLoadgen: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{"health:", "fault batches", "0 failed"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("loadgen report missing %q:\n%s", want, report)
+		}
 	}
 }
 

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"phideep"
+)
+
+// The -tune-seed search axes: the platform's default kernel grid crossed
+// with serving-plausible micro-batch sizes, pruned to a handful of full
+// simulated evaluations. Small probe sizing keeps the pre-serve search in
+// the seconds range; the predictor generalizes from there (DESIGN.md §13).
+var tuneSeedBatches = []int{4, 8, 16, 32, 64}
+
+const (
+	tuneSeedTopK     = 6
+	tuneSeedIters    = 24
+	tuneSeedExamples = 512
+)
+
+// Bounds on the seeded flush deadline: one simulated batch time, clamped
+// so a heavyweight model cannot seed a multi-second stall nor a tiny one
+// a busy-loop deadline.
+const (
+	tuneSeedMinWait = 100 * time.Microsecond
+	tuneSeedMaxWait = 20 * time.Millisecond
+)
+
+// applyTuneSeed runs the predictor-guided pruned search for the served
+// model and writes the pick into the batcher knobs the user left at their
+// defaults: MaxBatch from the fastest candidate's batch size, MaxWait from
+// its per-batch simulated time. Explicit -max-batch/-max-wait always win.
+func applyTuneSeed(w io.Writer, o *serveOptions, arch *phideep.Arch) error {
+	if o.maxBatchSet && o.maxWaitSet {
+		fmt.Fprintln(w, "phiserve: -tune-seed skipped: both -max-batch and -max-wait set explicitly")
+		return nil
+	}
+	batch, wait, err := tuneSeedBatcher(o, arch)
+	if err != nil {
+		return fmt.Errorf("tune-seed: %w", err)
+	}
+	if !o.maxBatchSet {
+		o.maxBatch = batch
+	}
+	if !o.maxWaitSet {
+		o.maxWait = wait
+	}
+	fmt.Fprintf(w, "phiserve: tune-seed pick: batch %d, per-batch %v -> batch<=%d wait<=%v\n",
+		batch, wait, o.maxBatch, o.maxWait)
+	return nil
+}
+
+// tuneSeedBatcher maps the served model onto a training workload the
+// calibrated predictor understands, runs the pruned search over the
+// batch-crossed grid, and derives the batcher seeds from the winner. The
+// forward pass dominates both training and serving cost per example, so
+// the training-time ranking transfers to the micro-batcher.
+func tuneSeedBatcher(o *serveOptions, arch *phideep.Arch) (int, time.Duration, error) {
+	wl, err := tuneSeedWorkload(o, arch)
+	if err != nil {
+		return 0, 0, err
+	}
+	cands := phideep.TuneCrossBatches(phideep.TuneDefaultCandidates(arch), tuneSeedBatches)
+	res, _, err := phideep.TunePrunedSearch(wl, cands, tuneSeedTopK)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := res.Best
+	batch := best.Batch
+	if batch == 0 {
+		batch = wl.DefaultBatch()
+	}
+	iters := phideep.TuneEffectiveIters(wl, best.Candidate)
+	wait := time.Duration(best.SimSeconds / float64(iters) * float64(time.Second))
+	if wait < tuneSeedMinWait {
+		wait = tuneSeedMinWait
+	}
+	if wait > tuneSeedMaxWait {
+		wait = tuneSeedMaxWait
+	}
+	return batch, wait, nil
+}
+
+// tuneSeedWorkload builds the stand-in training workload for the served
+// model kind. The RBM shares the AE encoder's GEMM shapes, so the AE
+// workload stands in for both.
+func tuneSeedWorkload(o *serveOptions, arch *phideep.Arch) (phideep.TuneWorkload, error) {
+	switch o.modelKind {
+	case "ae", "rbm":
+		return phideep.TuneAEWorkload{
+			Arch:  arch,
+			Model: phideep.AutoencoderConfig{Visible: o.visible, Hidden: o.hidden, Tied: o.tied},
+			Batch: tuneSeedBatches[len(tuneSeedBatches)/2], Iterations: tuneSeedIters,
+			DatasetExamples: tuneSeedExamples, Seed: o.seed,
+		}, nil
+	case "mlp":
+		layers, err := parseSizes(o.sizes)
+		if err != nil {
+			return nil, err
+		}
+		return phideep.TuneMLPWorkload{
+			Arch:  arch,
+			Model: phideep.MLPConfig{Sizes: layers},
+			Batch: tuneSeedBatches[len(tuneSeedBatches)/2], Iterations: tuneSeedIters,
+			DatasetExamples: tuneSeedExamples, Seed: o.seed,
+		}, nil
+	case "convnet":
+		conv := o.conv
+		conv.Seed = o.seed
+		if err := conv.Validate(); err != nil {
+			return nil, err
+		}
+		return phideep.TuneConvWorkload{
+			Arch: arch, Model: conv,
+			Batch: tuneSeedBatches[len(tuneSeedBatches)/2], Iterations: tuneSeedIters,
+			DatasetExamples: tuneSeedExamples, Seed: o.seed,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", o.modelKind)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"phideep"
+)
+
+// TestTuneSeedBatcher runs the real pruned search on a small model and
+// checks the derived knobs are sane: the batch comes from the searched
+// grid and the wait lands inside the clamp.
+func TestTuneSeedBatcher(t *testing.T) {
+	o := &serveOptions{modelKind: "ae", visible: 12, hidden: 5, seed: 3}
+	batch, wait, err := tuneSeedBatcher(o, phideep.XeonE5620Core())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range tuneSeedBatches {
+		if batch == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded batch %d not in the searched grid %v", batch, tuneSeedBatches)
+	}
+	if wait < tuneSeedMinWait || wait > tuneSeedMaxWait {
+		t.Fatalf("seeded wait %v outside [%v, %v]", wait, tuneSeedMinWait, tuneSeedMaxWait)
+	}
+}
+
+// TestApplyTuneSeed checks precedence: seeded values fill only the knobs
+// the user left at their defaults, and a fully pinned batcher skips the
+// search entirely.
+func TestApplyTuneSeed(t *testing.T) {
+	var log bytes.Buffer
+	o := &serveOptions{
+		modelKind: "ae", visible: 12, hidden: 5, seed: 3,
+		maxBatch: 16, maxWait: time.Millisecond,
+		maxBatchSet: true, // user pinned -max-batch; -max-wait stays seedable
+	}
+	if err := applyTuneSeed(&log, o, phideep.XeonE5620Core()); err != nil {
+		t.Fatal(err)
+	}
+	if o.maxBatch != 16 {
+		t.Fatalf("explicit -max-batch overridden to %d", o.maxBatch)
+	}
+	if o.maxWait == time.Millisecond {
+		t.Fatalf("-max-wait not seeded (still %v)", o.maxWait)
+	}
+	if o.maxWait < tuneSeedMinWait || o.maxWait > tuneSeedMaxWait {
+		t.Fatalf("seeded wait %v outside clamp", o.maxWait)
+	}
+	if !strings.Contains(log.String(), "tune-seed pick") {
+		t.Fatalf("missing pick line: %q", log.String())
+	}
+
+	log.Reset()
+	o2 := &serveOptions{
+		modelKind: "ae", visible: 12, hidden: 5,
+		maxBatch: 8, maxWait: time.Millisecond,
+		maxBatchSet: true, maxWaitSet: true,
+	}
+	if err := applyTuneSeed(&log, o2, phideep.XeonE5620Core()); err != nil {
+		t.Fatal(err)
+	}
+	if o2.maxBatch != 8 || o2.maxWait != time.Millisecond {
+		t.Fatalf("pinned knobs changed: batch=%d wait=%v", o2.maxBatch, o2.maxWait)
+	}
+	if !strings.Contains(log.String(), "skipped") {
+		t.Fatalf("missing skip line: %q", log.String())
+	}
+}

@@ -121,6 +121,22 @@ func (s *FaultStream) Float64() float64 { return s.rng.Float64() }
 // (defaults filled).
 func (s *FaultStream) Config() FaultConfig { return s.cfg }
 
+// WithSeed returns a copy of the config re-seeded for a derived stream —
+// the hook layers above use to give each replica (a serving worker, a
+// cluster node) its own deterministic fault sequence from one base
+// configuration, so a fleet-wide chaos run replays exactly.
+func (c FaultConfig) WithSeed(seed uint64) FaultConfig {
+	c.Seed = seed
+	return c
+}
+
+// FaultsArmed reports whether the injectable fault model is live on the
+// device (EnableFaults was called with a non-zero rate and DisableFaults
+// has not since disarmed it).
+func (d *Device) FaultsArmed() bool {
+	return d.faults != nil && d.faults.stream.cfg.Rate > 0
+}
+
 // faultState is the device-side fault injector: the deterministic fault
 // stream and the accumulated counters.
 type faultState struct {

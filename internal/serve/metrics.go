@@ -22,6 +22,15 @@ var (
 	mTuneBatch  = metrics.Default().Gauge("serve.tune.batch")
 	mTuneWait   = metrics.Default().Gauge("serve.tune.wait.seconds")
 	mTuneAdjust = metrics.Default().Counter("serve.tune.adjustments")
+
+	mFaultBatches = metrics.Default().Counter("serve.fault.batches")
+	mFaultRetries = metrics.Default().Counter("serve.fault.retries")
+	mRedispatches = metrics.Default().Counter("serve.fault.redispatches")
+	mRestarts     = metrics.Default().Counter("serve.restart.count")
+	mRetired      = metrics.Default().Counter("serve.restart.retired")
+	mDeadlines    = metrics.Default().Counter("serve.deadline.timeouts")
+	mDiscarded    = metrics.Default().Counter("serve.deadline.discarded")
+	mHealth       = metrics.Default().Gauge("serve.health")
 )
 
 func recordBatch(size int) {
@@ -73,6 +82,56 @@ func recordTuneAdjust() {
 	}
 }
 
+func recordFaultBatch() {
+	if metrics.Enabled() {
+		mFaultBatches.Inc()
+	}
+}
+
+func recordFaultRetry() {
+	if metrics.Enabled() {
+		mFaultRetries.Inc()
+	}
+}
+
+func recordRedispatch() {
+	if metrics.Enabled() {
+		mRedispatches.Inc()
+	}
+}
+
+func recordRestart() {
+	if metrics.Enabled() {
+		mRestarts.Inc()
+	}
+}
+
+func recordRetire() {
+	if metrics.Enabled() {
+		mRetired.Inc()
+	}
+}
+
+func recordDeadlineTimeout() {
+	if metrics.Enabled() {
+		mDeadlines.Inc()
+	}
+}
+
+func recordDiscarded() {
+	if metrics.Enabled() {
+		mDiscarded.Inc()
+	}
+}
+
+// recordHealth publishes the health state machine position as a gauge
+// (0 healthy, 1 degraded, 2 draining, 3 down).
+func recordHealth(h Health) {
+	if metrics.Enabled() {
+		mHealth.Set(float64(h))
+	}
+}
+
 // counters is the server's always-on internal ledger backing Stats.
 type counters struct {
 	requests      atomic.Int64
@@ -85,6 +144,14 @@ type counters struct {
 	batchSizeSum  atomic.Int64
 	latencyNanos  atomic.Int64
 	adjustments   atomic.Int64
+
+	faultBatches     atomic.Int64
+	faultRetries     atomic.Int64
+	redispatches     atomic.Int64
+	restarts         atomic.Int64
+	retired          atomic.Int64
+	deadlineTimeouts atomic.Int64
+	discarded        atomic.Int64
 }
 
 // BatcherStats is a point-in-time snapshot of the micro-batcher, returned
@@ -125,6 +192,29 @@ type BatcherStats struct {
 	CurMaxBatch int
 	CurMaxWait  time.Duration
 	Adjustments int64
+	// Health is the availability state machine position ("healthy",
+	// "degraded", "draining", "down"); WorkersLive of WorkersConfigured
+	// worker slots have not retired.
+	Health            string
+	WorkersLive       int
+	WorkersConfigured int
+	// FaultBatches counts batches that faulted out of a worker (transfer
+	// faults surviving the retry budgets, or recovered panics);
+	// FaultRetries the serve-level transfer re-attempts that preceded
+	// them; Redispatches the faulted batches salvaged by a healthy
+	// replica.
+	FaultBatches int64
+	FaultRetries int64
+	Redispatches int64
+	// Restarts counts worker rebuilds on fresh devices; Retired the slots
+	// whose restart budget ran out.
+	Restarts int64
+	Retired  int64
+	// DeadlineTimeouts counts requests abandoned at their deadline (or
+	// ctx expiry); Discarded the late worker results thrown away for
+	// already-abandoned requests.
+	DeadlineTimeouts int64
+	Discarded        int64
 }
 
 // Stats returns a consistent-enough snapshot of the batcher counters (each
@@ -141,11 +231,22 @@ func (s *Server) Stats() BatcherStats {
 		Degrades:      s.st.degrades.Load(),
 		Adaptive:      s.cfg.Adaptive,
 		Adjustments:   s.st.adjustments.Load(),
+
+		WorkersConfigured: s.cfg.Workers,
+		FaultBatches:      s.st.faultBatches.Load(),
+		FaultRetries:      s.st.faultRetries.Load(),
+		Redispatches:      s.st.redispatches.Load(),
+		Restarts:          s.st.restarts.Load(),
+		Retired:           s.st.retired.Load(),
+		DeadlineTimeouts:  s.st.deadlineTimeouts.Load(),
+		Discarded:         s.st.discarded.Load(),
 	}
 	s.mu.Lock()
 	st.QueueDepth = s.queued
 	st.CurMaxBatch = s.curBatch
 	st.CurMaxWait = s.curWait
+	st.WorkersLive = s.live
+	st.Health = s.healthLocked().String()
 	s.mu.Unlock()
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(s.st.batchSizeSum.Load()) / float64(st.Batches)

@@ -32,6 +32,23 @@
 // reference (Params.Encode and friends) — correct but slow, and
 // bit-identical to the device path only at core.Baseline.
 //
+// # Robustness
+//
+// The serving plane composes with the deterministic PCIe fault model the
+// training plane already survives (DESIGN.md §14). Config.Faults arms
+// per-worker seeded fault streams on the f64 device path; workers use the
+// non-panicking TryCopyIn/TryCopyOut with a bounded serve-level retry on
+// top of the device's own, and a supervisor catches worker-fatal faults
+// (permanent transfers, retry exhaustion, panics) at the batch boundary:
+// the batch is re-dispatched once to a healthy replica or completed with
+// a typed *WorkerFaultError, and the worker is rebuilt on a fresh device
+// under a capped-restart circuit. Exhausted slots retire, moving the
+// health state machine Healthy → Degraded → Down (see Health). Per-request
+// deadlines (Config.RequestTimeout, or ctx on the *Context call variants)
+// guarantee no caller ever hangs: expired requests return ErrDeadline and
+// the late batch result is discarded safely. Drain provides graceful
+// shutdown: admission stops while in-flight requests complete.
+//
 // # Model loading
 //
 // Weights are immutable copies taken at load time (copy-on-load), so a
@@ -44,18 +61,22 @@
 //	srv, err := serve.New(model, serve.Config{MaxBatch: 16, MaxWait: time.Millisecond})
 //
 // Every stage records into internal/metrics (serve.queue.depth,
-// serve.batch.size, serve.latency.seconds, serve.sheds, serve.degrades)
-// when collection is enabled, and Server.Stats returns a BatcherStats
-// snapshot unconditionally.
+// serve.batch.size, serve.latency.seconds, serve.sheds, serve.degrades,
+// serve.fault.*, serve.restart.*, serve.health) when collection is
+// enabled, and Server.Stats returns a BatcherStats snapshot
+// unconditionally.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phideep/internal/core"
+	"phideep/internal/device"
 	"phideep/internal/sim"
 )
 
@@ -160,7 +181,7 @@ func (e *UnsupportedOpError) Error() string {
 	return fmt.Sprintf("serve: %s model does not support %s", e.Kind, e.Op)
 }
 
-// ErrClosed is returned by serving calls after Close.
+// ErrClosed is returned by serving calls after Close or Drain.
 var ErrClosed = errors.New("serve: server closed")
 
 // Config parameterizes a Server. The zero value of every field selects a
@@ -213,6 +234,34 @@ type Config struct {
 	// Seed + i). Inference paths draw no samples, so this matters only
 	// for diagnostics.
 	Seed uint64
+
+	// Faults arms the deterministic PCIe fault model on every F64
+	// worker's device (a zero Rate leaves it off). Each worker draws from
+	// its own derived stream — seeded from Faults.Seed, the slot index,
+	// and the rebuild incarnation — so a chaos run replays exactly,
+	// independent of goroutine scheduling. The F32 path holds no device
+	// and is unaffected. Model upload during replica construction is
+	// never fault-injected: faults arm after the replica is built, as a
+	// real deployment would fence off provisioning from serving.
+	Faults device.FaultConfig
+	// FaultRetries bounds the serve-level re-attempts of a staging
+	// transfer after the device's own retry budget (Faults.MaxRetries) is
+	// exhausted by transient faults — a second line of defense before the
+	// fault escalates to the supervisor. Permanent faults escalate
+	// immediately. Default 2; negative is invalid.
+	FaultRetries int
+	// MaxRestarts caps how many times a faulted worker is rebuilt on a
+	// fresh device before its slot retires, degrading the server. Default
+	// 3. -1 disables rebuilds (retire on first worker-fatal fault); below
+	// -1 is invalid.
+	MaxRestarts int
+	// RequestTimeout is the per-request deadline measured from admission
+	// attempt to answer. Expired requests fail with ErrDeadline — whether
+	// still waiting for queue space, batched, or in flight on a worker —
+	// and a late worker result is discarded safely. 0 disables the
+	// deadline; negative is invalid. The *Context call variants compose:
+	// the earlier of ctx's deadline and RequestTimeout applies.
+	RequestTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -256,11 +305,51 @@ func (c *Config) fillDefaults() error {
 	default:
 		return fmt.Errorf("serve: unknown precision %d", int(c.Precision))
 	}
+	if c.Faults.Rate > 0 {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.FaultRetries == 0 {
+		c.FaultRetries = 2
+	}
+	if c.FaultRetries < 0 {
+		return fmt.Errorf("serve: negative fault retries %d", c.FaultRetries)
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 3
+	}
+	if c.MaxRestarts < -1 {
+		return fmt.Errorf("serve: invalid max restarts %d", c.MaxRestarts)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("serve: negative request timeout %v", c.RequestTimeout)
+	}
 	return nil
 }
 
-// request is one admitted serving call, completed by a worker (or by the
-// degrade path before admission).
+// maxRestarts is the effective restart budget: the -1 sentinel means zero
+// rebuilds.
+func (c *Config) maxRestarts() int {
+	if c.MaxRestarts < 0 {
+		return 0
+	}
+	return c.MaxRestarts
+}
+
+// request lifecycle states, raced between the completing worker (or
+// supervisor) and an abandoning caller via the state CAS.
+const (
+	reqPending int32 = iota
+	reqDone
+	reqAbandoned
+)
+
+// request is one admitted serving call, completed by a worker or the
+// supervisor (or answered by the degrade path before admission). in is a
+// private copy taken at admission: the caller keeps ownership of its own
+// slice and may reuse it immediately after the call returns — even after
+// a deadline abandons the request while its batch is still in flight.
 type request struct {
 	op   Op
 	in   []float64
@@ -268,6 +357,16 @@ type request struct {
 	err  error
 	done chan struct{}
 	enq  time.Time
+
+	// state arbitrates completion vs abandonment (reqPending → reqDone by
+	// the worker, reqPending → reqAbandoned by a deadline-expired caller);
+	// the loser of the CAS race discards its side.
+	state atomic.Int32
+	// redispatched marks a batch already re-dispatched once after a worker
+	// fault; guarded by s.mu. It gates the one-retry supervisor policy and
+	// tells the receiving worker the batch already left the admission
+	// queue accounting.
+	redispatched bool
 }
 
 // Server coalesces concurrent inference requests into micro-batches and
@@ -281,7 +380,20 @@ type Server struct {
 	notFull  *sync.Cond
 	pending  [numOps][]*request
 	timerGen [numOps]uint64
-	queued   int
+	// timers holds the armed flush timer per op so flushes stop it
+	// eagerly instead of letting stale generation-guarded timers fire
+	// into the lock; timersArmed counts live timers (tested by the churn
+	// suite to prove no pile-up).
+	timers      [numOps]*time.Timer
+	timersArmed int
+	queued      int
+	// inflight counts admitted requests not yet settled by finishRequest;
+	// Drain waits on it reaching zero.
+	inflight int
+	// live counts worker slots that have not retired; draining marks a
+	// Drain in progress. Both feed healthLocked.
+	live     int
+	draining bool
 	closed   bool
 
 	// curBatch/curWait are the effective batching knobs, equal to
@@ -309,11 +421,16 @@ func New(m *Model, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		model:    m,
-		batches:  make(chan []*request, cfg.QueueDepth),
+		cfg:   cfg,
+		model: m,
+		// Workers slots of headroom beyond QueueDepth: flushes send at
+		// most queued (≤ QueueDepth) batches, and each worker can have at
+		// most one re-dispatched batch in flight, so sends under s.mu
+		// never block.
+		batches:  make(chan []*request, cfg.QueueDepth+cfg.Workers),
 		curBatch: cfg.MaxBatch,
 		curWait:  cfg.MaxWait,
+		live:     cfg.Workers,
 	}
 	s.notFull = sync.NewCond(&s.mu)
 	if cfg.Adaptive {
@@ -324,7 +441,7 @@ func New(m *Model, cfg Config) (*Server, error) {
 		w, err := newWorker(s, i)
 		if err != nil {
 			for _, prev := range s.workers {
-				prev.free()
+				prev.freeQuiet()
 			}
 			return nil, fmt.Errorf("serve: worker %d: %w", i, err)
 		}
@@ -334,37 +451,113 @@ func New(m *Model, cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go w.loop()
 	}
+	recordHealth(Healthy)
 	return s, nil
 }
 
 // Encode maps one example to its hidden representation (autoencoder, RBM).
-func (s *Server) Encode(x []float64) ([]float64, error) { return s.do(OpEncode, x) }
+func (s *Server) Encode(x []float64) ([]float64, error) {
+	return s.doCtx(context.Background(), OpEncode, x)
+}
 
 // Reconstruct round-trips one example through the model (autoencoder, RBM
 // mean-field reconstruction).
-func (s *Server) Reconstruct(x []float64) ([]float64, error) { return s.do(OpReconstruct, x) }
+func (s *Server) Reconstruct(x []float64) ([]float64, error) {
+	return s.doCtx(context.Background(), OpReconstruct, x)
+}
 
 // Predict returns the softmax class probabilities for one example (MLP).
-func (s *Server) Predict(x []float64) ([]float64, error) { return s.do(OpPredict, x) }
+func (s *Server) Predict(x []float64) ([]float64, error) {
+	return s.doCtx(context.Background(), OpPredict, x)
+}
+
+// EncodeContext is Encode honoring ctx: cancellation abandons the request
+// (its batch result is discarded safely) and a ctx deadline composes with
+// Config.RequestTimeout — the earlier one applies, surfacing as
+// ErrDeadline.
+func (s *Server) EncodeContext(ctx context.Context, x []float64) ([]float64, error) {
+	return s.doCtx(ctx, OpEncode, x)
+}
+
+// ReconstructContext is Reconstruct honoring ctx (see EncodeContext).
+func (s *Server) ReconstructContext(ctx context.Context, x []float64) ([]float64, error) {
+	return s.doCtx(ctx, OpReconstruct, x)
+}
+
+// PredictContext is Predict honoring ctx (see EncodeContext).
+func (s *Server) PredictContext(ctx context.Context, x []float64) ([]float64, error) {
+	return s.doCtx(ctx, OpPredict, x)
+}
 
 // Model returns the served model description.
 func (s *Server) Model() *Model { return s.model }
 
-// do admits, batches and awaits one request.
-func (s *Server) do(op Op, x []float64) ([]float64, error) {
+// doCtx validates, admits, batches and awaits one request.
+func (s *Server) doCtx(ctx context.Context, op Op, x []float64) ([]float64, error) {
 	if !s.model.supports(op) {
 		return nil, &UnsupportedOpError{Kind: s.model.Kind(), Op: op}
 	}
 	if len(x) != s.model.InputDim() {
 		return nil, fmt.Errorf("serve: input length %d, want %d", len(x), s.model.InputDim())
 	}
-	r := &request{op: op, in: x, done: make(chan struct{}), enq: time.Now()}
+	// Copy at admission: the request must not alias the caller's slice,
+	// which the caller is free to reuse the moment this call returns —
+	// and, under a deadline, even before the batch stages.
+	in := append([]float64(nil), x...)
+	r := &request{op: op, in: in, done: make(chan struct{}), enq: time.Now()}
 
+	var deadline time.Time
+	if s.cfg.RequestTimeout > 0 {
+		deadline = r.enq.Add(s.cfg.RequestTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+
+	admitted, err := s.admit(ctx, r, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if !admitted {
+		// Degrade policy at a full queue: answer inline from the scalar
+		// host reference, outside the lock.
+		return s.model.hostInfer(op, in)
+	}
+	return s.await(ctx, r, deadline)
+}
+
+// admit places r in its pending queue, applying the admission policy at a
+// full queue. It returns admitted=false with a nil error when the Degrade
+// policy should answer inline. Block waits are woken by queue space, Close,
+// Drain, the last worker retiring, ctx cancellation, or the request
+// deadline (the latter two via one-shot broadcasts armed on first wait).
+func (s *Server) admit(ctx context.Context, r *request, deadline time.Time) (bool, error) {
+	var waker *time.Timer
+	var stopCtx func() bool
 	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+		if waker != nil {
+			waker.Stop()
+		}
+		if stopCtx != nil {
+			stopCtx()
+		}
+	}()
 	for {
-		if s.closed {
-			s.mu.Unlock()
-			return nil, ErrClosed
+		if ctx.Err() != nil {
+			return false, ctxErr(ctx)
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			s.st.deadlineTimeouts.Add(1)
+			recordDeadlineTimeout()
+			return false, ErrDeadline
+		}
+		if s.closed || s.draining {
+			return false, ErrClosed
+		}
+		if s.live == 0 {
+			return false, ErrDown
 		}
 		if s.queued < s.cfg.QueueDepth {
 			break
@@ -372,39 +565,112 @@ func (s *Server) do(op Op, x []float64) ([]float64, error) {
 		switch s.cfg.Policy {
 		case Shed:
 			s.st.sheds.Add(1)
-			s.mu.Unlock()
 			recordShed()
-			return nil, ErrOverloaded
+			return false, ErrOverloaded
 		case Degrade:
 			s.st.degrades.Add(1)
-			s.mu.Unlock()
 			recordDegrade()
-			return s.model.hostInfer(op, x)
+			return false, nil
 		default: // Block
+			if waker == nil && !deadline.IsZero() {
+				waker = time.AfterFunc(time.Until(deadline), s.notFull.Broadcast)
+			}
+			if stopCtx == nil && ctx.Done() != nil {
+				stopCtx = context.AfterFunc(ctx, s.notFull.Broadcast)
+			}
 			s.notFull.Wait()
 		}
 	}
 	s.queued++
+	s.inflight++
 	s.st.requests.Add(1)
-	s.pending[op] = append(s.pending[op], r)
+	s.pending[r.op] = append(s.pending[r.op], r)
 	switch {
-	case len(s.pending[op]) >= s.curBatch:
-		s.flushLocked(op, true)
-	case len(s.pending[op]) == 1:
-		gen := s.timerGen[op]
-		time.AfterFunc(s.curWait, func() { s.deadlineFlush(op, gen) })
+	case len(s.pending[r.op]) >= s.curBatch:
+		s.flushLocked(r.op, true)
+	case len(s.pending[r.op]) == 1:
+		s.armTimerLocked(r.op)
 	}
 	recordQueueDepth(s.queued)
-	s.mu.Unlock()
+	return true, nil
+}
 
+// await blocks until the request completes or its deadline/ctx expires.
+// An expiring caller races the completing worker through the request's
+// state CAS: if the caller wins, the eventual result is discarded; if the
+// worker already won, the real answer is returned.
+func (s *Server) await(ctx context.Context, r *request, deadline time.Time) ([]float64, error) {
+	if deadline.IsZero() && ctx.Done() == nil {
+		<-r.done
+		return r.out, r.err
+	}
+	var timerC <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case <-r.done:
+		return r.out, r.err
+	case <-timerC:
+		if s.abandon(r) {
+			return nil, ErrDeadline
+		}
+	case <-ctx.Done():
+		if s.abandon(r) {
+			return nil, ctxErr(ctx)
+		}
+	}
+	// Lost the abandon race: the worker completed first; its answer is
+	// (about to be) published.
 	<-r.done
 	return r.out, r.err
 }
 
-// flushLocked hands the pending queue of op to the workers. Caller holds
-// s.mu. The batches channel is sized to QueueDepth — at least one slot per
-// queued request — so the send cannot block while the lock is held.
+// abandon tries to mark r abandoned; it reports whether the caller won the
+// race against the completing worker.
+func (s *Server) abandon(r *request) bool {
+	if r.state.CompareAndSwap(reqPending, reqAbandoned) {
+		s.st.deadlineTimeouts.Add(1)
+		recordDeadlineTimeout()
+		return true
+	}
+	return false
+}
+
+// ctxErr maps a ctx expiry to the server's error surface: deadline expiry
+// becomes ErrDeadline (same class as RequestTimeout), cancellation stays
+// context.Canceled.
+func ctxErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ctx.Err()
+}
+
+// armTimerLocked starts the MaxWait flush timer for op's fresh pending
+// queue. Caller holds s.mu.
+func (s *Server) armTimerLocked(op Op) {
+	gen := s.timerGen[op]
+	s.timersArmed++
+	s.timers[op] = time.AfterFunc(s.curWait, func() { s.deadlineFlush(op, gen) })
+}
+
+// flushLocked hands the pending queue of op to the workers, stopping the
+// queue's armed flush timer. Caller holds s.mu. The batches channel has a
+// slot for every queued request plus re-dispatch headroom, so the send
+// cannot block while the lock is held.
 func (s *Server) flushLocked(op Op, full bool) {
+	if t := s.timers[op]; t != nil {
+		if t.Stop() {
+			// Stopped before firing; a false return means the timer
+			// callback is already running and will settle the ledger
+			// itself in deadlineFlush.
+			s.timersArmed--
+		}
+		s.timers[op] = nil
+	}
 	batch := s.pending[op]
 	if len(batch) == 0 {
 		return
@@ -432,13 +698,16 @@ func (s *Server) flushLocked(op Op, full bool) {
 }
 
 // deadlineFlush fires when the oldest request of a pending queue has
-// waited MaxWait. gen detects queues already flushed for another reason.
+// waited MaxWait. gen detects queues already flushed for another reason
+// (the timer is stopped eagerly on flush, but Stop can race the firing).
 func (s *Server) deadlineFlush(op Op, gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.timersArmed--
 	if s.closed || gen != s.timerGen[op] {
 		return
 	}
+	s.timers[op] = nil
 	s.flushLocked(op, false)
 }
 
@@ -457,7 +726,9 @@ func (s *Server) Close() {
 		s.flushLocked(Op(op), false)
 	}
 	s.notFull.Broadcast()
+	h := s.healthLocked()
 	s.mu.Unlock()
+	recordHealth(h)
 	close(s.batches)
 	s.wg.Wait()
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,14 +21,27 @@ import (
 //
 //   - F64: a private simulated device (devices are not safe for concurrent
 //     use) with a forward-only model replica, the exact path training ran.
+//     When Config.Faults is armed, the device injects deterministic
+//     transfer faults from the worker's derived stream; staging uses the
+//     non-panicking TryCopyIn/TryCopyOut under retryTransfer.
 //   - F32: the reduced-precision host path — a float32 inference replica
 //     running the packed f32 kernels directly on the worker's pool, no
 //     device in the loop. Weights are the model's shared f32 snapshot;
 //     activations are private.
 //
-// All workers share the server's immutable Model snapshot read-only.
+// All workers share the server's immutable Model snapshot read-only. The
+// lifecycle fields (restarts, retired, cause) are owned by the worker's
+// own goroutine: only loop and the supervisor it calls touch them.
 type worker struct {
 	s    *Server
+	slot int
+
+	// restarts counts rebuilds consumed from Config.MaxRestarts; retired
+	// marks the slot permanently failed with cause the final fault.
+	restarts int
+	retired  bool
+	cause    error
+
 	ctx  *blas.Context
 	pool *parallel.Pool
 
@@ -52,15 +66,28 @@ type worker struct {
 	stage32 *tensor.Matrix32
 }
 
-// newWorker builds worker i: private pool (optional), then either the
-// device-resident f64 replica or the host-side f32 replica.
+// newWorker builds worker i's first incarnation.
 func newWorker(s *Server, i int) (*worker, error) {
-	w := &worker{s: s}
-	cfg := s.cfg
+	w := &worker{s: s, slot: i}
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// build constructs the worker's execution state: private pool (optional),
+// then either the device-resident f64 replica or the host-side f32
+// replica. The supervisor calls it again after teardown to rebuild a
+// faulted worker on a fresh device. Fault injection arms only after the
+// replica is built and staging is allocated: model upload happens on the
+// panicking transfer path by design — provisioning is fenced off from
+// serving, as it would be in a real deployment.
+func (w *worker) build() error {
+	cfg := w.s.cfg
 	if cfg.PoolWorkers > 0 {
 		w.pool = parallel.NewPool(cfg.PoolWorkers)
 	}
-	m := s.model
+	m := w.s.model
 
 	if cfg.Precision == F32 {
 		m.convert32()
@@ -76,14 +103,14 @@ func newWorker(s *Server, i int) (*worker, error) {
 			w.cv32 = convnet.NewInference32(w.pool, lvl, m.convCfg, cfg.MaxBatch, m.cv32)
 		default:
 			w.free()
-			return nil, fmt.Errorf("serve: unknown model kind %d", int(m.kind))
+			return fmt.Errorf("serve: unknown model kind %d", int(m.kind))
 		}
 		w.stage32 = tensor.NewMatrix32(cfg.MaxBatch, m.InputDim())
-		return w, nil
+		return nil
 	}
 
 	dev := device.New(cfg.Arch, true, w.pool)
-	w.ctx = core.NewContext(dev, cfg.Level, cfg.Cores, cfg.Seed+uint64(i))
+	w.ctx = core.NewContext(dev, cfg.Level, cfg.Cores, cfg.Seed+uint64(w.slot))
 
 	var err error
 	switch m.kind {
@@ -100,48 +127,89 @@ func newWorker(s *Server, i int) (*worker, error) {
 	}
 	if err != nil {
 		w.free()
-		return nil, err
+		return err
 	}
 	w.x, err = dev.Alloc(cfg.MaxBatch, m.InputDim())
 	if err != nil {
 		w.free()
-		return nil, err
+		return err
 	}
 	w.stage = tensor.NewMatrix(cfg.MaxBatch, m.InputDim())
-	return w, nil
-}
-
-// loop drains the dispatch channel until the server closes it.
-func (w *worker) loop() {
-	defer w.s.wg.Done()
-	defer w.free()
-	for batch := range w.s.batches {
-		w.s.mu.Lock()
-		w.s.queued -= len(batch)
-		w.s.notFull.Broadcast()
-		recordQueueDepth(w.s.queued)
-		w.s.mu.Unlock()
-		if w.stage32 != nil {
-			w.run32(batch)
-		} else {
-			w.run(batch)
+	if cfg.Faults.Rate > 0 {
+		if err := dev.EnableFaults(workerFaultConfig(cfg.Faults, w.slot, w.restarts)); err != nil {
+			w.free()
+			return err
 		}
 	}
+	return nil
+}
+
+// loop drains the dispatch channel until the server closes it, handing
+// faulted batches to the supervisor. A retired worker normally exits and
+// leaves the channel to the survivors; the last retiree instead stays
+// behind as the drainer, completing everything with typed errors.
+func (w *worker) loop() {
+	defer w.s.wg.Done()
+	defer w.freeQuiet()
+	for batch := range w.s.batches {
+		// Re-dispatched batches already left the admission queue's
+		// accounting when their first worker received them.
+		if !batch[0].redispatched {
+			w.s.mu.Lock()
+			w.s.queued -= len(batch)
+			w.s.notFull.Broadcast()
+			recordQueueDepth(w.s.queued)
+			w.s.mu.Unlock()
+		}
+		if w.retired {
+			w.s.failBatch(batch, w.faultError(w.cause))
+			continue
+		}
+		if err := w.runSafe(batch); err != nil {
+			if !w.handleFault(batch, err) {
+				return
+			}
+		}
+	}
+}
+
+// runSafe executes one batch with the panic boundary the supervisor
+// relies on: any panic escaping the forward path (a device invariant
+// tripped mid-batch, a kernel bug) surfaces as an error instead of
+// killing the process.
+func (w *worker) runSafe(batch []*request) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: worker panic: %v", p)
+		}
+	}()
+	if w.stage32 != nil {
+		w.run32(batch)
+		return nil
+	}
+	return w.run(batch)
 }
 
 // run executes one homogeneous batch on the f64 device path: stage the
 // rows, one CopyIn, the batched device forward pass on the [0,n) view, one
 // CopyOut, then complete every request. Per-row results are independent of
 // the batch composition (GEMM partitions and reduces per output row), so
-// coalescing never changes an answer bit.
-func (w *worker) run(batch []*request) {
+// coalescing never changes an answer bit. Transfer faults that survive
+// retryTransfer escalate to the caller (the supervisor); the batch is NOT
+// completed here in that case.
+func (w *worker) run(batch []*request) error {
 	op := batch[0].op
 	n := len(batch)
 	for i, r := range batch {
 		copy(w.stage.RowView(i), r.in)
 	}
 	dev := w.ctx.Dev
-	dev.CopyIn(w.x, w.stage, 0)
+	if err := w.retryTransfer(func() error {
+		_, err := dev.TryCopyIn(w.x, w.stage, 0)
+		return err
+	}); err != nil {
+		return err
+	}
 	xv := w.x
 	if n < w.x.Rows {
 		xv = w.x.Slice(0, n)
@@ -168,8 +236,33 @@ func (w *worker) run(batch []*request) {
 	}
 
 	res := tensor.NewMatrix(n, out.Cols)
-	dev.CopyOut(out, res)
+	if err := w.retryTransfer(func() error {
+		_, err := dev.TryCopyOut(out, res)
+		return err
+	}); err != nil {
+		return err
+	}
 	w.complete64(batch, res)
+	return nil
+}
+
+// retryTransfer runs one staging transfer with the serve-level retry on
+// top of the device's own: a transient *TransferError (the device already
+// exhausted Faults.MaxRetries) is re-attempted up to Config.FaultRetries
+// times; permanent faults and exhaustion escalate to the supervisor.
+func (w *worker) retryTransfer(attempt func() error) error {
+	for tries := 0; ; tries++ {
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		var terr *device.TransferError
+		if !errors.As(err, &terr) || terr.Permanent || tries >= w.s.cfg.FaultRetries {
+			return err
+		}
+		w.s.st.faultRetries.Add(1)
+		recordFaultRetry()
+	}
 }
 
 // run32 executes one homogeneous batch on the reduced-precision host path.
@@ -177,7 +270,8 @@ func (w *worker) run(batch []*request) {
 // f32 kernels on the worker's pool; outputs widen back to float64 on
 // completion, so callers see the same []float64 surface as the f64 path.
 // As with the device path, per-row results are batch-composition
-// independent and bit-deterministic for a fixed worker pool size.
+// independent and bit-deterministic for a fixed worker pool size. No
+// device is in the loop, so the fault model does not apply.
 func (w *worker) run32(batch []*request) {
 	op := batch[0].op
 	n := len(batch)
@@ -208,9 +302,9 @@ func (w *worker) run32(batch []*request) {
 
 	now := time.Now()
 	for i, r := range batch {
-		r.out = make([]float64, out.Cols)
-		tensor.Widen64(r.out, out.RowView(i))
-		w.finish(r, now)
+		o := make([]float64, out.Cols)
+		tensor.Widen64(o, out.RowView(i))
+		w.s.finishRequest(r, o, nil, now)
 	}
 }
 
@@ -218,18 +312,9 @@ func (w *worker) run32(batch []*request) {
 func (w *worker) complete64(batch []*request, res *tensor.Matrix) {
 	now := time.Now()
 	for i, r := range batch {
-		r.out = append([]float64(nil), res.RowView(i)...)
-		w.finish(r, now)
+		o := append([]float64(nil), res.RowView(i)...)
+		w.s.finishRequest(r, o, nil, now)
 	}
-}
-
-// finish closes out one answered request and records its latency.
-func (w *worker) finish(r *request, now time.Time) {
-	lat := now.Sub(r.enq)
-	w.s.st.completed.Add(1)
-	w.s.st.latencyNanos.Add(lat.Nanoseconds())
-	recordLatency(lat)
-	close(r.done)
 }
 
 // free releases the worker's device resources and pool. The f32 path holds
@@ -260,4 +345,13 @@ func (w *worker) free() {
 		w.pool.Close()
 		w.pool = nil
 	}
+}
+
+// freeQuiet is free for teardown paths that must survive a device in an
+// arbitrary post-fault state: a panic during release is swallowed (the
+// simulated resources are process-local; leaking them beats crashing the
+// supervisor or hanging Close's wg.Wait).
+func (w *worker) freeQuiet() {
+	defer func() { _ = recover() }()
+	w.free()
 }

@@ -49,6 +49,8 @@
 package phideep
 
 import (
+	"time"
+
 	"phideep/internal/autoencoder"
 	"phideep/internal/blas"
 	"phideep/internal/cluster"
@@ -234,6 +236,15 @@ type (
 	// BatcherStats is a point-in-time snapshot of the micro-batcher,
 	// returned by (*Server).Stats.
 	BatcherStats = serve.BatcherStats
+	// ServeHealth is the server's availability state machine (healthy →
+	// degraded → draining → down), returned by (*Server).Health and
+	// surfaced in BatcherStats and phiserve's /healthz.
+	ServeHealth = serve.Health
+	// WorkerFaultError is the typed completion a request receives when
+	// its worker hit a worker-fatal fault (permanent device transfer
+	// fault, retry exhaustion, or a recovered panic) and no healthy
+	// replica could salvage the batch.
+	WorkerFaultError = serve.WorkerFaultError
 
 	// AdaptiveLR is a loss-driven learning-rate controller for
 	// TrainConfig.Adaptive; BoldDriver is the classic implementation.
@@ -284,12 +295,35 @@ const (
 	PrecisionF32 = serve.F32
 )
 
+// Serving availability states (ServeHealth).
+const (
+	// ServeHealthy: every configured worker slot is live.
+	ServeHealthy = serve.Healthy
+	// ServeDegraded: at least one worker slot retired after exhausting
+	// its restart budget; survivors keep serving.
+	ServeDegraded = serve.Degraded
+	// ServeDraining: admission is closed while in-flight work completes.
+	ServeDraining = serve.Draining
+	// ServeDown: no live worker replica remains; requests fail fast.
+	ServeDown = serve.Down
+)
+
 // ErrOverloaded is returned by serving calls under ServeShed when the
 // admission queue is full.
 var ErrOverloaded = serve.ErrOverloaded
 
 // ErrServerClosed is returned by serving calls made after (*Server).Close.
 var ErrServerClosed = serve.ErrClosed
+
+// ErrDeadline is returned by serving calls whose per-request deadline
+// (ServeConfig.RequestTimeout or a ctx deadline) expired before a worker
+// answered; the late batch result is discarded safely.
+var ErrDeadline = serve.ErrDeadline
+
+// ErrServerDown is returned by serving calls once every worker slot has
+// retired under injected faults; the server fails fast rather than
+// queueing forever.
+var ErrServerDown = serve.ErrDown
 
 // Cluster straggler policies (ClusterConfig.Policy).
 const (
@@ -501,6 +535,20 @@ func NewHybridAE(phiCtx, hostCtx *Context, cfg HybridAEConfig, seed uint64) (*Hy
 // platform: optimization level × cores × threads/core × fusion.
 func TuneDefaultCandidates(arch *Arch) []TuneCandidate { return tune.DefaultCandidates(arch) }
 
+// TuneCrossBatches expands a candidate grid with the given micro-batch
+// sizes, so the predictor can rank batching against kernel knobs jointly.
+// See `phiserve -tune-seed` for the serving-side use.
+func TuneCrossBatches(cands []TuneCandidate, batches []int) []TuneCandidate {
+	return tune.CrossBatches(cands, batches)
+}
+
+// TuneEffectiveIters returns the iteration count candidate c should run
+// for so that every candidate trains on the same number of examples
+// (batch-overriding candidates get proportionally fewer updates).
+func TuneEffectiveIters(w TuneWorkload, c TuneCandidate) int {
+	return tune.EffectiveIters(w, c)
+}
+
 // TuneCalibrate fits the calibrated performance predictor for a workload
 // from short probe runs against the simulator; the result predicts any
 // grid candidate's full-run epoch time without simulating it.
@@ -535,6 +583,21 @@ func WithPrecision(p Precision) ServeOption {
 // ceilings. See `phiserve -adaptive`.
 func WithAdaptive() ServeOption {
 	return func(c *ServeConfig) { c.Adaptive = true }
+}
+
+// WithFaults arms the deterministic PCIe fault model on every f64
+// serving worker's device (ServeConfig.Faults): each worker draws from
+// its own stream derived from fc.Seed, so chaos runs replay exactly. See
+// `phiserve -fault-rate`.
+func WithFaults(fc FaultConfig) ServeOption {
+	return func(c *ServeConfig) { c.Faults = fc }
+}
+
+// WithRequestTimeout sets the per-request deadline
+// (ServeConfig.RequestTimeout): expired requests fail with ErrDeadline
+// instead of ever hanging, and their late batch results are discarded.
+func WithRequestTimeout(d time.Duration) ServeOption {
+	return func(c *ServeConfig) { c.RequestTimeout = d }
 }
 
 // NewServer builds an online inference server over a ServeModel: Workers
