@@ -30,8 +30,10 @@ go test ./...
 # their own: re-run the kernel suite — and the convnet built on the
 # lowered GEMM — with the assembly path compiled out. The tuner rides
 # along: its workload evaluations and predictor calibration run the full
-# training stack, so they must hold on the fallback kernels too.
-go test -tags noasm ./internal/kernels/... ./internal/convnet/... ./internal/tune/...
+# training stack, so they must hold on the fallback kernels too. data and
+# feed join because the feed-backed trainer bit-identity tests must hold
+# on the fallback kernels as well.
+go test -tags noasm ./internal/kernels/... ./internal/convnet/... ./internal/tune/... ./internal/data/... ./internal/feed/...
 # core and stack carry the fault-injection, checkpoint/resume and chunk
 # prefetch tests, which overlap the loading goroutine with training; the
 # cluster package rides along for its checkpoint-handoff paths; serve is
@@ -39,8 +41,10 @@ go test -tags noasm ./internal/kernels/... ./internal/convnet/... ./internal/tun
 # varying pool sizes (the bit-determinism-across-workers tests).
 # tune joins the race set for its leak-free candidate-evaluation guarantee
 # (device audits on every error path) and the adaptive controller's
-# lock-protected knob updates.
-go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/... ./internal/convnet/... ./internal/tune/...
+# lock-protected knob updates. data and feed join for the concurrent
+# source readers and the lease/commit protocol's shared cursor state
+# (many consumers leasing/committing against one feed).
+go test -race ./internal/kernels/... ./internal/parallel/... ./internal/device/... ./internal/metrics/... ./internal/core/... ./internal/stack/... ./internal/cluster/... ./internal/serve/... ./internal/convnet/... ./internal/tune/... ./internal/data/... ./internal/feed/...
 # Determinism spot-check: the crash/rejoin/resync scenario must produce the
 # identical ledger on back-to-back runs (fault injection is seeded, never
 # wall-clock dependent).
@@ -65,6 +69,12 @@ go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 \
 go run ./cmd/phiserve -model ae -visible 64 -hidden 16 -loadgen -clients 8 \
     -duration 2s -fault-rate 0.05 -fault-permanent 0.2 -fault-seed 7 \
     -workers 2 -max-restarts 100 | grep "health:"
+# Shared-feed cluster smoke: every node streams from one dataset feed
+# (lease/commit protocol) under fault injection — the "feed:" line proves
+# the lease ledger balanced (leases == commits) across crash/rejoin.
+go run ./cmd/phisim -nodes 3 -cluster-steps 20 -feed -numeric \
+    -global-batch 24 -visible 32 -hidden 8 \
+    -node-fault-rate 0.1 -node-rejoin-after 3 | grep "feed:"
 # Convnet train-then-serve smoke: train on labeled digits, export a PHCK
 # checkpoint, and serve /predict from it through the load generator (the
 # geometry flags must match between the two commands).

@@ -11,7 +11,9 @@ import (
 	"phideep/internal/autoencoder"
 	"phideep/internal/cluster"
 	"phideep/internal/core"
+	"phideep/internal/data"
 	"phideep/internal/device"
+	"phideep/internal/feed"
 	"phideep/internal/rng"
 	"phideep/internal/sim"
 	"phideep/internal/tensor"
@@ -23,6 +25,7 @@ import (
 type clusterFlags struct {
 	nodes       int
 	steps       int
+	feed        bool
 	globalBatch int
 	syncEvery   int
 	visible     int
@@ -51,6 +54,7 @@ type clusterFlags struct {
 func registerClusterFlags(f *clusterFlags) {
 	flag.IntVar(&f.nodes, "nodes", 0, "simulate an N-node commodity cluster instead of describing platforms")
 	flag.IntVar(&f.steps, "cluster-steps", 100, "global training steps to run")
+	flag.BoolVar(&f.feed, "feed", false, "stream every node from one shared dataset feed (lease/commit protocol) instead of per-node index math")
 	flag.IntVar(&f.globalBatch, "global-batch", 0, "combined minibatch split across the nodes (default 100 per node)")
 	flag.IntVar(&f.syncEvery, "sync-every", 1, "local steps between parameter-averaging rounds")
 	flag.IntVar(&f.visible, "visible", 256, "autoencoder input units")
@@ -153,16 +157,38 @@ func runCluster(f clusterFlags, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var x *tensor.Matrix
+	if f.numeric {
+		x = lowRankBatch(rng.New(f.seed+100), cfg.GlobalBatch, f.visible)
+	}
+	if f.feed {
+		// One shared dataset server; every node subscribes as a distinct
+		// consumer. With SourceLen = GlobalBatch the lease walk covers the
+		// exact rows the index math used to slice, so -feed changes the
+		// data plane, not the numerics.
+		if cfg.Nodes < 1 || cfg.GlobalBatch%cfg.Nodes != 0 {
+			return fmt.Errorf("-feed: global batch %d does not split across %d nodes", cfg.GlobalBatch, cfg.Nodes)
+		}
+		perNode := cfg.GlobalBatch / cfg.Nodes
+		p, err := data.PlanChunks(data.PlanRequest{SourceLen: cfg.GlobalBatch, Batch: perNode, ChunkExamples: perNode})
+		if err != nil {
+			return fmt.Errorf("-feed: %w", err)
+		}
+		var src data.Source = data.Null{D: f.visible, N: cfg.GlobalBatch}
+		if f.numeric {
+			src = data.InMemory{X: x}
+		}
+		fd, err := feed.New(src, feed.Config{Plan: p})
+		if err != nil {
+			return fmt.Errorf("-feed: %w", err)
+		}
+		cfg.Feed = fd
+	}
 	cl, err := cluster.New(arch, core.OpenMPMKL, cfg, f.numeric, f.seed)
 	if err != nil {
 		return err
 	}
 	defer cl.Free()
-
-	var x *tensor.Matrix
-	if f.numeric {
-		x = lowRankBatch(rng.New(f.seed+100), cfg.GlobalBatch, f.visible)
-	}
 	first, last := 0.0, 0.0
 	for i := 0; i < f.steps; i++ {
 		l := cl.Step(x, f.lr)
@@ -185,6 +211,10 @@ func runCluster(f clusterFlags, out io.Writer) error {
 		fmt.Fprintf(out, "  recovery: %d detections, %d rejoins, %d resyncs, %d checkpoints\n",
 			rep.Detections, rep.Rejoins, rep.Resyncs, rep.Checkpoints)
 		fmt.Fprintf(out, "  membership: %d/%d nodes live at end\n", rep.LiveNodes, rep.Nodes)
+	}
+	if rep.Feed != nil {
+		fmt.Fprintf(out, "  feed: %d consumers over %d shards; %d leases, %d commits, %d stalls, %d seeks\n",
+			rep.Feed.Consumers, rep.Feed.Shards, rep.Feed.Leases, rep.Feed.Commits, rep.Feed.Stalls, rep.Feed.Seeks)
 	}
 	if f.report != "" {
 		if err := writeClusterReport(f.report, rep, out); err != nil {

@@ -105,3 +105,48 @@ func TestClusterFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunClusterFeed smoke-tests the -feed mode in both timing-only and
+// numeric runs: the summary gains the feed protocol line and the JSON
+// report carries the counters.
+func TestRunClusterFeed(t *testing.T) {
+	f := quickClusterFlags()
+	f.feed = true
+	var out bytes.Buffer
+	if err := runCluster(f, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "feed: 3 consumers over 3 shards") {
+		t.Fatalf("summary missing feed line: %s", out.String())
+	}
+
+	f.numeric = true
+	f.faultRate = 0.1
+	f.report = filepath.Join(t.TempDir(), "rep.json")
+	out.Reset()
+	if err := runCluster(f, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(f.report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep cluster.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feed == nil || rep.Feed.Leases == 0 || rep.Feed.Commits != rep.Feed.Leases {
+		t.Fatalf("report feed stats: %+v", rep.Feed)
+	}
+}
+
+// TestRunClusterFeedBatchValidation rejects a batch that does not shard.
+func TestRunClusterFeedBatchValidation(t *testing.T) {
+	f := quickClusterFlags()
+	f.feed = true
+	f.globalBatch = 10 // not divisible by 3 nodes
+	var out bytes.Buffer
+	if err := runCluster(f, &out); err == nil || !strings.Contains(err.Error(), "split") {
+		t.Fatalf("want split error, got %v", err)
+	}
+}

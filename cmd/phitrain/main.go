@@ -62,6 +62,7 @@ func main() {
 		cores     = flag.Int("cores", 0, "physical core limit (0 = all)")
 		numeric   = flag.Bool("numeric", true, "really compute (vs. timing-only)")
 		prefetch  = flag.Bool("prefetch", true, "loading-thread prefetch (Fig. 5)")
+		useFeed   = flag.Bool("feed", false, "stream chunks through the dataset-server feed (lease/commit protocol) instead of direct index math (ae/rbm/convnet)")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 		trace     = flag.String("trace", "", "write a Chrome trace-viewer JSON of the simulated device activity to this file")
 		momentum  = flag.Float64("momentum", 0, "classical momentum coefficient [0,1)")
@@ -100,7 +101,7 @@ func main() {
 		}()
 	}
 	opts := options{momentum: *momentum, corruption: *corrupt, tied: *tied,
-		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive,
+		gaussian: *gaussian, shuffle: *shuffle, adaptive: *adaptive, feed: *useFeed,
 		filters1: *filters1, kernel1: *kernel1, filters2: *filters2,
 		kernel2: *kernel2, pool: *poolSz, classes: *classes,
 		metricsPath: *metricsTo, stats: *stats,
@@ -188,6 +189,7 @@ type options struct {
 	gaussian             bool
 	shuffle              bool
 	adaptive             bool
+	feed                 bool // -feed: lease chunks from a dataset-server feed
 
 	// convnet geometry (-model convnet)
 	filters1, kernel1 int
@@ -283,6 +285,23 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		src = phideep.NewShuffled(src, seed+100)
 	}
 
+	var fd *phideep.Feed
+	if opts.feed {
+		if modelKind == "stack" || modelKind == "dbn" {
+			// Greedy layer-wise pre-training streams each layer from the
+			// previous layer's encodings, not from one fixed source.
+			return fmt.Errorf("-feed supports single-model runs (ae/rbm/convnet), not %q", modelKind)
+		}
+		if fd, err = buildFeed(src, batch); err != nil {
+			return err
+		}
+		consumer, err := fd.Subscribe("phitrain")
+		if err != nil {
+			return err
+		}
+		tc.Feed = consumer
+	}
+
 	switch modelKind {
 	case "ae", "rbm":
 		var model phideep.Trainable
@@ -318,6 +337,7 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 		}
 		fmt.Printf("%s %dx%d on %s [%s]\n", modelKind, visible, hidden, archDesc.Name, lvl)
 		printResult(res, numeric)
+		printFeedStats(fd)
 		if opts.export != "" {
 			if err := exportModel(opts.export, model, res); err != nil {
 				return err
@@ -368,6 +388,7 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 			side, side, opts.filters1, opts.kernel1, opts.filters2, opts.kernel2,
 			opts.pool, opts.classes, archDesc.Name, lvl)
 		printResult(res, numeric)
+		printFeedStats(fd)
 		if opts.export != "" {
 			if err := exportModel(opts.export, model, res); err != nil {
 				return err
@@ -437,6 +458,37 @@ func run(modelKind, dataKind string, side, visible, hidden int, sizesFlag string
 	default:
 		return fmt.Errorf("unknown model %q", modelKind)
 	}
+}
+
+// buildFeed wraps src in a single-consumer dataset feed with the trainer's
+// default chunk geometry (32 batches per chunk, clamped to the source).
+// The trainer adopts the feed's plan, so the -feed run walks exactly the
+// chunks the direct path would have.
+func buildFeed(src phideep.Source, batch int) (*phideep.Feed, error) {
+	plan, err := phideep.PlanChunks(phideep.PlanRequest{
+		SourceLen:      src.Len(),
+		Batch:          batch,
+		ExampleDoubles: src.Dim(),
+		FreeBytes:      phideep.PlanNoMemLimit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("-feed: %w", err)
+	}
+	fcfg := phideep.FeedConfig{Plan: plan}
+	if l, ok := src.(phideep.Labeled); ok {
+		return phideep.NewLabeledFeed(l, fcfg)
+	}
+	return phideep.NewFeed(src, fcfg)
+}
+
+// printFeedStats reports the feed protocol counters of a -feed run.
+func printFeedStats(fd *phideep.Feed) {
+	if fd == nil {
+		return
+	}
+	s := fd.Stats()
+	fmt.Printf("  feed: %d leases, %d commits (%d skipped), %d stalls, %d seeks, peak window %d\n",
+		s.Leases, s.Commits, s.Skips, s.Stalls, s.Seeks, s.MaxOutstanding)
 }
 
 // exportModel writes the trained model as a final PHCK checkpoint — the

@@ -133,3 +133,22 @@ func TestRunVariantFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunFeed smoke-tests -feed on the single-model kinds and pins the
+// rejection for layer-wise pre-training.
+func TestRunFeed(t *testing.T) {
+	if err := runQuick2(t, options{feed: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Labeled path: convnet leases one-hot label chunks off the same feed.
+	if err := run("convnet", "digits", 8, 0, 8, "", 200, 20, 1, 0,
+		0.5, 1e-4, 0.1, 0.05, "improved", "phi", 0, true, true, 1, "",
+		options{feed: true, filters1: 3, kernel1: 3, filters2: 4, kernel2: 3, pool: 2, classes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	err := run("stack", "digits", 8, 0, 8, "64,16", 200, 20, 1, 0,
+		0.5, 1e-4, 0.1, 0.05, "improved", "phi", 0, true, true, 1, "", options{feed: true})
+	if err == nil || !strings.Contains(err.Error(), "-feed supports") {
+		t.Fatalf("stack with -feed: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"phideep/internal/blas"
 	"phideep/internal/core"
 	"phideep/internal/device"
+	"phideep/internal/feed"
 	"phideep/internal/sim"
 	"phideep/internal/tensor"
 )
@@ -149,6 +150,16 @@ type Config struct {
 	// PHCK checkpoint to this file at every sync round (the rejoin handoff
 	// itself uses the in-memory encoding either way).
 	CheckpointPath string
+
+	// Feed, when non-nil, makes every node a distinct consumer of this
+	// shared dataset server (DESIGN.md §15), replacing the per-node index
+	// slicing of Step's x argument (which is then ignored). The feed's
+	// plan must carry exactly one per-node batch per chunk, so node i's
+	// step-s shard is global chunk s·Nodes+i by the feed's deterministic
+	// shard assignment. A rejoining node re-seeks its consumer to the
+	// current step; a node the failure detector declares permanently lost
+	// has its consumer closed, releasing its backpressure on the feed.
+	Feed *feed.Feed
 }
 
 // Cluster is a set of model replicas with synchronized simulated time.
@@ -200,6 +211,16 @@ func New(arch *sim.Arch, lvl core.OptLevel, cfg Config, numeric bool, seed uint6
 		c.plan = plan
 		c.scripted = plan.scriptIndex()
 	}
+	if f := cfg.Feed; f != nil {
+		fp := f.Plan()
+		if fp.Batch != c.perNode || fp.ChunkExamples != c.perNode {
+			return nil, fmt.Errorf("cluster: feed plan stages %d-example chunks of batch %d, want one %d-example chunk per node per step",
+				fp.ChunkExamples, fp.Batch, c.perNode)
+		}
+		if f.Dim() != cfg.Model.Visible {
+			return nil, fmt.Errorf("cluster: feed dim %d, model visible %d", f.Dim(), cfg.Model.Visible)
+		}
+	}
 	v, h := cfg.Model.Visible, cfg.Model.Hidden
 	c.paramsB = int64(v*h+h+h*v+v) * 8
 	for i := 0; i < cfg.Nodes; i++ {
@@ -214,6 +235,16 @@ func New(arch *sim.Arch, lvl core.OptLevel, cfg Config, numeric bool, seed uint6
 		if c.faulty {
 			n.stream = c.plan.stream(i)
 		}
+		if cfg.Feed != nil {
+			n.feedc, err = cfg.Feed.Subscribe(fmt.Sprintf("node%d", i))
+			if err != nil {
+				c.Free()
+				return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+			}
+			if numeric {
+				n.stage = tensor.NewMatrix(c.perNode, cfg.Model.Visible)
+			}
+		}
 		c.nodes = append(c.nodes, n)
 	}
 	return c, nil
@@ -227,6 +258,9 @@ func (c *Cluster) Free() {
 	}
 	c.freed = true
 	for _, n := range c.nodes {
+		if n.feedc != nil {
+			n.feedc.Close()
+		}
 		n.m.Free()
 	}
 	c.nodes = nil
@@ -275,11 +309,37 @@ func (c *Cluster) Step(x *tensor.Matrix, lr float64) float64 {
 		if t := dev.Now(); t > start {
 			start = t
 		}
+		var lease feed.Lease
+		leased := false
+		if c.Cfg.Feed != nil {
+			// The node's consumer must sit at the current step: a rejoined
+			// node (or one that idled through an outage) re-seeks here —
+			// the ordinal is the global step, so its lease lands on chunk
+			// step·Nodes+id, exactly the shard the index math used to cut.
+			if n.feedc.Pos() != step {
+				if err := n.feedc.Seek(step); err != nil {
+					continue
+				}
+			}
+			l, err := n.feedc.Lease()
+			if err != nil {
+				// Horizon exhausted: the node idles this step.
+				continue
+			}
+			lease, leased = l, true
+		}
 		shard := dev.MustAlloc(c.perNode, c.Cfg.Model.Visible)
-		if dev.Numeric {
-			dev.CopyIn(shard, x.RowsView(n.id*c.perNode, (n.id+1)*c.perNode).Contiguous(), earliest)
-		} else {
+		if !dev.Numeric {
 			dev.CopyIn(shard, nil, earliest)
+		} else if leased {
+			if err := c.Cfg.Feed.Fill(lease, n.stage); err != nil {
+				// Unreachable after New's geometry validation: the lease
+				// was granted this step and has not been committed.
+				panic(fmt.Sprintf("cluster: feed fill: %v", err))
+			}
+			dev.CopyIn(shard, n.stage, earliest)
+		} else {
+			dev.CopyIn(shard, x.RowsView(n.id*c.perNode, (n.id+1)*c.perNode).Contiguous(), earliest)
 		}
 		lossSum += n.m.Step(shard, lr)
 		lossN++
@@ -298,6 +358,14 @@ func (c *Cluster) Step(x *tensor.Matrix, lr float64) float64 {
 		n.stepEnd = end
 		n.lastBeat = end
 		n.r.Steps++
+		if leased {
+			// The chunk is drained once the step's compute ends; the
+			// commit timestamp is the deterministic simulated clock, so
+			// fault-injected runs ledger identically across repeats.
+			if err := n.feedc.Commit(lease, end, false); err != nil {
+				panic(fmt.Sprintf("cluster: feed commit: %v", err))
+			}
+		}
 	}
 	c.steps++
 

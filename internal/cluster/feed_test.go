@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"phideep/internal/core"
+	"phideep/internal/data"
+	"phideep/internal/feed"
+	"phideep/internal/rng"
+	"phideep/internal/sim"
+	"phideep/internal/tensor"
+)
+
+// newClusterFeed builds a shared feed over an in-memory low-rank dataset
+// with one perNode-example chunk per node per step.
+func newClusterFeed(t *testing.T, cfg Config, examples int, ledger bool) *feed.Feed {
+	t.Helper()
+	perNode := cfg.GlobalBatch / cfg.Nodes
+	x := lowRank(rng.New(8), examples, cfg.Model.Visible)
+	p, err := data.PlanChunks(data.PlanRequest{SourceLen: examples, Batch: perNode, ChunkExamples: perNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := feed.New(data.InMemory{X: x}, feed.Config{Plan: p, Window: 1, Ledger: ledger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runFed trains a fresh cluster for steps steps over one shared feed.
+func runFed(t *testing.T, cfg Config, steps int, seed uint64, examples int) (*Cluster, *feed.Feed) {
+	t.Helper()
+	f := newClusterFeed(t, cfg, examples, true)
+	cfg.Feed = f
+	cl, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, cfg, true, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		cl.Step(nil, 0.5) // the feed supplies the shards; x is ignored
+	}
+	return cl, f
+}
+
+// TestFeedClusterMatchesSlicedInput: with SyncEvery=1 and a dataset whose
+// row walk matches the sliced-x walk, the shared-feed cluster follows the
+// classic path bit-for-bit — shard-by-consumer replaces the per-node index
+// math without changing the numerics.
+func TestFeedClusterMatchesSlicedInput(t *testing.T) {
+	const steps = 10
+	cfg := smallCfg(3, 1)
+	perNode := cfg.GlobalBatch / cfg.Nodes
+	x := lowRank(rng.New(8), cfg.GlobalBatch, cfg.Model.Visible)
+
+	classic, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, cfg, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer classic.Free()
+	for i := 0; i < steps; i++ {
+		classic.Step(x, 0.5)
+	}
+
+	// Global chunk s·N+i starts at ((s·N+i)·perNode) mod len. With
+	// len = GlobalBatch = N·perNode, that is (i·perNode) mod len every
+	// step — node i always trains rows [i·perNode, (i+1)·perNode), the
+	// exact shard RowsView used to slice.
+	p, err := data.PlanChunks(data.PlanRequest{SourceLen: cfg.GlobalBatch, Batch: perNode, ChunkExamples: perNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := feed.New(data.InMemory{X: x}, feed.Config{Plan: p, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := cfg
+	fcfg.Feed = f
+	fed, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, fcfg, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Free()
+	for i := 0; i < steps; i++ {
+		fed.Step(nil, 0.5)
+	}
+
+	if !paramsEqual(classic.Download(), fed.Download()) {
+		t.Fatal("shared-feed cluster diverged from sliced-input cluster")
+	}
+	if classic.SimSeconds() != fed.SimSeconds() {
+		t.Fatalf("sim time diverged: %g vs %g", classic.SimSeconds(), fed.SimSeconds())
+	}
+	s := f.Stats()
+	if s.Leases != steps*cfg.Nodes || s.Commits != s.Leases || s.Outstanding != 0 {
+		t.Fatalf("feed stats %+v", s)
+	}
+}
+
+// TestFeedClusterFaultedLedgerDeterministic is the tentpole's cluster
+// acceptance gate: a fault-injected multi-node run over one shared feed
+// completes, accumulates backpressure stalls while nodes are down, and
+// produces a bit-identical lease/commit ledger across two runs.
+func TestFeedClusterFaultedLedgerDeterministic(t *testing.T) {
+	plan := &FaultPlan{Rate: 0.12, CrashFrac: 0.5, PermanentFrac: 0.3, RejoinAfter: 4, Seed: 11}
+	run := func() (Report, []feed.Event) {
+		cl, f := runFed(t, faultyCfg(4, 2, plan), 36, 7, 96)
+		rep := cl.Report()
+		cl.Free()
+		return rep, f.Events()
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if len(e1) == 0 {
+		t.Fatal("empty feed ledger")
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("feed ledgers diverged across identical runs (%d vs %d events)", len(e1), len(e2))
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports diverged:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if r1.Crashes == 0 {
+		t.Fatal("fault plan injected no crashes; the backpressure path was not exercised")
+	}
+	if r1.Feed == nil {
+		t.Fatal("report carries no feed stats")
+	}
+	if r1.Feed.Stalls == 0 {
+		t.Fatal("downed consumers pinned the watermark but no backpressure stalls were ledgered")
+	}
+	if r1.Feed.Leases == 0 || r1.Feed.Commits != r1.Feed.Leases {
+		t.Fatalf("feed stats %+v: every granted lease must commit", r1.Feed)
+	}
+}
+
+// TestFeedClusterRejoinSeeks: a crashed node's consumer seeks forward to
+// the current step when it resumes training — the rejoin re-subscription
+// at the checkpointed position.
+func TestFeedClusterRejoinSeeks(t *testing.T) {
+	plan := &FaultPlan{Script: []NodeFault{
+		{Step: 3, Node: 1, Kind: FaultCrash, RejoinAfter: 4},
+	}}
+	cl, f := runFed(t, faultyCfg(3, 1, plan), 16, 7, 90)
+	defer cl.Free()
+	rep := cl.Report()
+	if rep.Rejoins != 1 {
+		t.Fatalf("rejoins %d", rep.Rejoins)
+	}
+	// Node 1 missed steps 3..7 (down + barrier resync); when it trains
+	// again its cursor lags the step counter and must seek exactly once.
+	if s := f.Stats(); s.Seeks != 1 {
+		t.Fatalf("feed stats %+v, want one seek", s)
+	}
+	// The rejoined node's post-seek leases land on its own shard.
+	for _, e := range f.Events() {
+		if e.Kind == feed.EvLease && e.Seq%3 != e.Shard {
+			t.Fatalf("lease off-shard: %+v", e)
+		}
+	}
+}
+
+// TestFeedClusterPermanentLossClosesConsumer: the failure detector closes
+// a permanently lost node's consumer, releasing its backpressure.
+func TestFeedClusterPermanentLossClosesConsumer(t *testing.T) {
+	// Crash early in a long sync interval: the detector only runs at
+	// barriers, so the frozen cursor has several steps to pin the watermark
+	// and accumulate stalls before the step-4 barrier excises the node.
+	plan := &FaultPlan{Script: []NodeFault{
+		{Step: 1, Node: 2, Kind: FaultCrash, Permanent: true},
+	}}
+	cl, f := runFed(t, faultyCfg(3, 5, plan), 20, 7, 90)
+	defer cl.Free()
+	rep := cl.Report()
+	if rep.PermanentLosses != 1 || rep.Detections == 0 {
+		t.Fatalf("loss accounting: %+v", rep)
+	}
+	// While node 2 was dead-but-undetected its frozen cursor pinned the
+	// watermark: stalls accumulated, then stopped after the close.
+	s := f.Stats()
+	if s.Stalls == 0 {
+		t.Fatal("no backpressure stalls before the detector excised the dead node")
+	}
+	closes := 0
+	var closeIdx, lastStallIdx int
+	for i, e := range f.Events() {
+		switch e.Kind {
+		case feed.EvClose:
+			if closes == 0 {
+				closeIdx = i
+			}
+			closes++
+		case feed.EvStall:
+			lastStallIdx = i
+		}
+	}
+	if closes == 0 {
+		t.Fatal("no close event for the lost node's consumer")
+	}
+	if lastStallIdx > closeIdx {
+		t.Fatal("backpressure stalls continued after the dead consumer was closed")
+	}
+	if s.Consumers != 2 {
+		t.Fatalf("consumers %d, want 2 after one loss", s.Consumers)
+	}
+}
+
+// TestFeedClusterValidation rejects mismatched feed geometry.
+func TestFeedClusterValidation(t *testing.T) {
+	cfg := smallCfg(3, 1)
+	x := lowRank(rng.New(8), 24, cfg.Model.Visible)
+	bad, err := data.PlanChunks(data.PlanRequest{SourceLen: 24, Batch: 8, ChunkExamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := feed.New(data.InMemory{X: x}, feed.Config{Plan: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Feed = f // perNode is 4, plan stages 8-example chunks
+	if _, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, cfg, true, 7); err == nil {
+		t.Fatal("mismatched feed plan must be rejected")
+	}
+
+	wrongDim := tensor.NewMatrix(24, cfg.Model.Visible+1)
+	p, err := data.PlanChunks(data.PlanRequest{SourceLen: 24, Batch: 4, ChunkExamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := feed.New(data.InMemory{X: wrongDim}, feed.Config{Plan: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Feed = f2
+	if _, err := New(sim.XeonE5620Dual(), core.OpenMPMKL, cfg, true, 7); err == nil {
+		t.Fatal("mismatched feed dim must be rejected")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"phideep/internal/autoencoder"
 	"phideep/internal/core"
 	"phideep/internal/device"
+	"phideep/internal/feed"
+	"phideep/internal/tensor"
 )
 
 // nodeStatus is one member's liveness.
@@ -27,6 +29,10 @@ type node struct {
 	id     int
 	m      *autoencoder.Model
 	stream *device.FaultStream
+	// feedc is the node's consumer of the shared feed (nil without one);
+	// stage is its host staging matrix for leased chunks (numeric only).
+	feedc *feed.Consumer
+	stage *tensor.Matrix
 
 	status nodeStatus
 	// inRing marks the node a member of the all-reduce ring. A crashed
@@ -82,6 +88,12 @@ func (c *Cluster) detectFailures(timeout float64) (wait float64) {
 			wait = at
 		}
 		n.inRing = false
+		if n.status == statusLeft && n.feedc != nil {
+			// A permanently lost node's frozen cursor pins the feed's low
+			// watermark, accumulating backpressure stalls until the
+			// detector excises it; closing its consumer releases the feed.
+			n.feedc.Close()
+		}
 		n.r.Detections++
 		c.rep.Detections++
 		if metricsOn() {

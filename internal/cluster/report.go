@@ -1,5 +1,7 @@
 package cluster
 
+import "phideep/internal/feed"
+
 // Report is the degradation ledger of a cluster run: how often the ring
 // synchronized, what faults were injected, how the membership reacted, and
 // where the simulated time went, per node. phisim marshals it as the JSON
@@ -25,6 +27,10 @@ type Report struct {
 	// LiveNodes is the final membership; SimSeconds the cluster makespan.
 	LiveNodes  int     `json:"live_nodes"`
 	SimSeconds float64 `json:"sim_seconds"`
+
+	// Feed is the shared dataset server's protocol counters when the run
+	// streamed over one (leases, commits, backpressure stalls, seeks).
+	Feed *feed.Stats `json:"feed,omitempty"`
 
 	PerNode []NodeReport `json:"per_node"`
 }
@@ -57,6 +63,10 @@ func (c *Cluster) Report() Report {
 	r.Syncs = c.syncCount
 	r.SimSeconds = c.SimSeconds()
 	r.LiveNodes = c.liveCount()
+	if c.Cfg.Feed != nil {
+		s := c.Cfg.Feed.Stats()
+		r.Feed = &s
+	}
 	r.PerNode = make([]NodeReport, len(c.nodes))
 	for i, n := range c.nodes {
 		nr := n.r

@@ -2,12 +2,14 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"phideep/internal/data"
 	"phideep/internal/device"
+	"phideep/internal/feed"
 	"phideep/internal/metrics"
 	"phideep/internal/opt"
 	"phideep/internal/tensor"
@@ -71,6 +73,17 @@ type TrainConfig struct {
 	// whose only mutable state is parameters and the RNG stream, the
 	// resumed run is bit-identical to the uninterrupted one.
 	ResumePath string
+	// Feed, when non-nil, streams chunks through the data plane's
+	// lease/commit protocol (DESIGN.md §15) instead of ad-hoc index
+	// arithmetic over the source: every chunk is leased before its
+	// transfer and committed — at the simulated time compute drained
+	// it — when its ring slot is reused. The feed's ChunkPlan supplies
+	// the chunk geometry (ChunkExamples, if also set, must agree), its
+	// lease window must cover BufferDepth, and a resumed run re-seeks the
+	// consumer to the checkpointed chunk. For a single consumer the leased
+	// chunk walk is exactly the classic path's, so results are
+	// bit-identical at a fixed seed.
+	Feed *feed.Consumer
 }
 
 // Result summarizes a training run.
@@ -127,13 +140,11 @@ type LabeledTrainable interface {
 	OutputDim() int
 }
 
-// LabeledSource is a data source whose examples carry integer class labels
-// (*data.Digits satisfies it). Labels must be in [0, OutputDim).
-type LabeledSource interface {
-	data.Source
-	// Label returns the class of example idx.
-	Label(idx int) int
-}
+// LabeledSource is a data source whose examples carry integer class labels.
+//
+// Deprecated: the interface moved to the data package as [data.Labeled];
+// this alias remains for source compatibility.
+type LabeledSource = data.Labeled
 
 // Trainer runs Algorithm 1 on one device.
 type Trainer struct {
@@ -153,7 +164,7 @@ func (t *Trainer) Run(model Trainable, src data.Source) (*Result, error) {
 // PCIe link, then drives StepLabeled per minibatch. Everything else —
 // double buffering, graceful degradation, checkpoint/resume — behaves
 // exactly as in Run.
-func (t *Trainer) RunLabeled(model LabeledTrainable, src LabeledSource) (*Result, error) {
+func (t *Trainer) RunLabeled(model LabeledTrainable, src data.Labeled) (*Result, error) {
 	if model.OutputDim() <= 0 {
 		return nil, fmt.Errorf("core: labeled model has non-positive output dim %d", model.OutputDim())
 	}
@@ -162,7 +173,7 @@ func (t *Trainer) RunLabeled(model LabeledTrainable, src LabeledSource) (*Result
 
 // run is the shared chunk loop. Exactly one of um and lm is non-nil; lsrc
 // is non-nil iff lm is.
-func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc LabeledSource) (*Result, error) {
+func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc data.Labeled) (*Result, error) {
 	var model interface {
 		BatchSize() int
 		InputDim() int
@@ -188,31 +199,38 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 	if cfg.BufferDepth <= 0 {
 		cfg.BufferDepth = 2
 	}
-	if cfg.ChunkExamples == 0 {
-		cfg.ChunkExamples = 32 * batch
-		if max := src.Len() / batch * batch; cfg.ChunkExamples > max {
-			cfg.ChunkExamples = max
+	fc := cfg.Feed
+	if fc != nil {
+		// The data plane supplies the chunk geometry: adopt the feed's
+		// validated plan and refuse a conflicting local override.
+		fp := fc.Plan()
+		if fp.SourceLen != src.Len() {
+			return nil, fmt.Errorf("core: feed plan covers %d examples, source has %d", fp.SourceLen, src.Len())
 		}
-		// Shrink the default so the staging ring fits what is left of
-		// device global memory next to the model — the 8 GB constraint
-		// that shapes the paper's chunking in the first place.
-		free := t.Dev.Arch.GlobalMemBytes - t.Dev.Allocated()
-		perDim := dim
-		if lm != nil {
-			perDim += lm.OutputDim() // the one-hot label ring stages too
+		if fp.Batch != batch {
+			return nil, fmt.Errorf("core: feed plan batch %d, model wants %d", fp.Batch, batch)
 		}
-		perExample := int64(perDim) * 8 * int64(cfg.BufferDepth)
-		if maxExamples := free / perExample; int64(cfg.ChunkExamples) > maxExamples {
-			cfg.ChunkExamples = int(maxExamples) / batch * batch
+		if cfg.ChunkExamples != 0 && cfg.ChunkExamples != fp.ChunkExamples {
+			return nil, fmt.Errorf("core: ChunkExamples %d conflicts with feed plan's %d", cfg.ChunkExamples, fp.ChunkExamples)
 		}
-		if cfg.ChunkExamples < batch {
-			return nil, fmt.Errorf("core: device memory cannot stage even one %d-example batch of dim %d next to the model (%d B free)",
-				batch, dim, free)
-		}
+		cfg.ChunkExamples = fp.ChunkExamples
 	}
-	if cfg.ChunkExamples <= 0 || cfg.ChunkExamples%batch != 0 {
-		return nil, fmt.Errorf("core: chunk of %d examples is not a positive multiple of batch %d", cfg.ChunkExamples, batch)
+	perDim := dim
+	if lm != nil {
+		perDim += lm.OutputDim() // the one-hot label ring stages too
 	}
+	// PlanChunks validates an explicit chunk size, or auto-sizes one that
+	// fits what is left of device global memory next to the model — the
+	// 8 GB constraint that shapes the paper's chunking in the first place.
+	plan, err := data.PlanChunks(data.PlanRequest{
+		SourceLen: src.Len(), Batch: batch, ChunkExamples: cfg.ChunkExamples,
+		BufferDepth: cfg.BufferDepth, ExampleDoubles: perDim,
+		FreeBytes: t.Dev.Arch.GlobalMemBytes - t.Dev.Allocated(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg.ChunkExamples = plan.ChunkExamples
 	if cfg.LR == 0 && cfg.Schedule == nil && cfg.Adaptive == nil {
 		return nil, fmt.Errorf("core: zero learning rate")
 	}
@@ -292,6 +310,28 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 	// overwritten (its previous chunk fully consumed by compute).
 	slotFree := make([]float64, cfg.BufferDepth)
 
+	// Under a feed, each ring slot holds the lease of the chunk it stages;
+	// the lease commits — at the simulated time compute drained the
+	// slot — when the slot is reused or the run ends, so the feed's window
+	// occupancy mirrors the double-buffer occupancy exactly.
+	var slotLease []feed.Lease
+	var slotLeased, slotSkipped []bool
+	if fc != nil {
+		slotLease = make([]feed.Lease, cfg.BufferDepth)
+		slotLeased = make([]bool, cfg.BufferDepth)
+		slotSkipped = make([]bool, cfg.BufferDepth)
+	}
+	commitSlot := func(slot int) error {
+		if !slotLeased[slot] {
+			return nil
+		}
+		slotLeased[slot] = false
+		if err := fc.Commit(slotLease[slot], slotFree[slot], slotSkipped[slot]); err != nil {
+			return fmt.Errorf("core: feed commit: %w", err)
+		}
+		return nil
+	}
+
 	res := &Result{FirstLoss: math.NaN(), FinalLoss: math.NaN()}
 	step := 0
 	startChunk := 0
@@ -319,12 +359,40 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 			mResumes.Inc()
 		}
 	}
+	if fc != nil && fc.Pos() != startChunk {
+		// Re-subscribe at the checkpointed position: the consumer's local
+		// ordinal is exactly the trainer's chunk cursor.
+		if err := fc.Seek(startChunk); err != nil {
+			return nil, fmt.Errorf("core: feed seek to chunk %d: %w", startChunk, err)
+		}
+	}
 	runStart := time.Now()
 	epochStart := runStart
 
 	for chunk := startChunk; chunk < totalChunks && step < totalSteps; chunk++ {
 		slot := chunk % cfg.BufferDepth
 		buf := ring[slot]
+
+		var lease feed.Lease
+		if fc != nil {
+			// Commit the slot's previous occupant (compute drained it at
+			// slotFree[slot]) before leasing its replacement, so the
+			// consumer's window occupancy never exceeds the ring depth.
+			if err := commitSlot(slot); err != nil {
+				return nil, err
+			}
+			l, err := fc.Lease()
+			if errors.Is(err, feed.ErrExhausted) {
+				break // the data plane's horizon ends the run here
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: feed lease: %w", err)
+			}
+			lease = l
+			slotLease[slot] = l
+			slotLeased[slot] = true
+			slotSkipped[slot] = false
+		}
 
 		// The loading thread fills the slot as soon as the slot and the
 		// PCIe link are free; without prefetch it additionally waits for
@@ -336,9 +404,18 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 			}
 		}
 		start := (chunk * cfg.ChunkExamples) % src.Len()
+		if fc != nil {
+			start = lease.Start // the lease names the chunk's example range
+		}
 		var copyErr error
 		if t.Dev.Numeric {
-			src.Chunk(start, cfg.ChunkExamples, hostStage[slot])
+			if fc != nil {
+				if err := fc.Fill(lease, hostStage[slot]); err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+			} else {
+				src.Chunk(start, cfg.ChunkExamples, hostStage[slot])
+			}
 			_, copyErr = t.Dev.TryCopyIn(buf, hostStage[slot], earliest)
 		} else {
 			_, copyErr = t.Dev.TryCopyIn(buf, nil, earliest)
@@ -347,13 +424,19 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 			var labelErr error
 			if t.Dev.Numeric {
 				hy := hostLabels[slot]
-				hy.Zero()
-				for i := 0; i < cfg.ChunkExamples; i++ {
-					l := lsrc.Label((start + i) % src.Len())
-					if l < 0 || l >= classes {
-						return nil, fmt.Errorf("core: source label %d outside [0, %d)", l, classes)
+				if fc != nil {
+					if err := fc.FillLabels(lease, classes, hy); err != nil {
+						return nil, fmt.Errorf("core: %w", err)
 					}
-					hy.RowView(i)[l] = 1
+				} else {
+					hy.Zero()
+					for i := 0; i < cfg.ChunkExamples; i++ {
+						l := lsrc.Label((start + i) % src.Len())
+						if l < 0 || l >= classes {
+							return nil, fmt.Errorf("core: source label %d outside [0, %d)", l, classes)
+						}
+						hy.RowView(i)[l] = 1
+					}
 				}
 				_, labelErr = t.Dev.TryCopyIn(labelRing[slot], hy, earliest)
 			} else {
@@ -371,6 +454,9 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 			// train this chunk's batches on the slot's last good contents
 			// (zeros if the slot was never filled) and record the skip.
 			res.SkippedChunks++
+			if fc != nil {
+				slotSkipped[slot] = true // the commit will carry the skip flag
+			}
 			if metrics.Enabled() {
 				mSkippedChunks.Inc()
 			}
@@ -447,6 +533,15 @@ func (t *Trainer) run(um Trainable, lm LabeledTrainable, src data.Source, lsrc L
 		}
 	}
 
+	if fc != nil {
+		// Drain the ring: commit the last occupants at the times compute
+		// finished with them, oldest slot first for a stable ledger.
+		for s := 0; s < cfg.BufferDepth; s++ {
+			if err := commitSlot(s); err != nil {
+				return nil, err
+			}
+		}
+	}
 	res.Steps = step
 	res.SimSeconds = t.Dev.Now()
 	res.Device = t.Dev.Stats()

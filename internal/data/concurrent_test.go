@@ -1,0 +1,110 @@
+package data
+
+import (
+	"sync"
+	"testing"
+
+	"phideep/internal/tensor"
+)
+
+// chunkConcurrently hammers src with parallel overlapping Chunk reads — the
+// Source contract promises safety for concurrent Chunk calls (the Fig. 5
+// loading thread prefetches while consumers read) — and verifies every
+// worker sees exactly the single-threaded answer, including wrapped ranges.
+func chunkConcurrently(t *testing.T, src Source) {
+	t.Helper()
+	const workers = 8
+	const rounds = 4
+	n := src.Len() / 2
+	want := make([]*tensor.Matrix, workers)
+	for w := 0; w < workers; w++ {
+		// Distinct overlapping windows; the later ones wrap past Len().
+		start := w * src.Len() / 4
+		want[w] = tensor.NewMatrix(n, src.Dim())
+		src.Chunk(start, n, want[w])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := w * src.Len() / 4
+			got := tensor.NewMatrix(n, src.Dim())
+			for r := 0; r < rounds; r++ {
+				got.Zero()
+				src.Chunk(start, n, got)
+				if tensor.MaxAbsDiff(want[w], got) != 0 {
+					errs <- "concurrent Chunk diverged from single-threaded read"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestDigitsConcurrentChunk(t *testing.T) {
+	chunkConcurrently(t, NewDigits(16, 64, 7, 0.05))
+}
+
+func TestNaturalPatchesConcurrentChunk(t *testing.T) {
+	// NaturalPatches renders its base images lazily behind a sync.Once;
+	// racing first touch is the interesting case.
+	chunkConcurrently(t, NewNaturalPatches(12, 64, 11))
+}
+
+func TestDigitsConcurrentLabels(t *testing.T) {
+	d := NewDigits(16, 64, 9, 0)
+	want := make([]int, d.Len())
+	for i := range want {
+		want[i] = d.Label(i)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < d.Len(); i++ {
+				if d.Label(i) != want[i] {
+					errs <- "concurrent Label diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestNaturalPatchesWraparound(t *testing.T) {
+	s := NewNaturalPatches(12, 20, 3)
+	a := tensor.NewMatrix(1, s.Dim())
+	b := tensor.NewMatrix(1, s.Dim())
+	s.Chunk(7, 1, a)
+	s.Chunk(27, 1, b) // 27 mod 20 = 7
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("index wraparound broken")
+	}
+	// A chunk spanning the end equals its two halves read separately.
+	span := tensor.NewMatrix(6, s.Dim())
+	s.Chunk(17, 6, span) // rows 17,18,19,0,1,2
+	head := tensor.NewMatrix(3, s.Dim())
+	tail := tensor.NewMatrix(3, s.Dim())
+	s.Chunk(17, 3, head)
+	s.Chunk(0, 3, tail)
+	for i := 0; i < 3; i++ {
+		if !tensor.EqualVec(tensor.Vector(span.RowView(i)), tensor.Vector(head.RowView(i)), 0) ||
+			!tensor.EqualVec(tensor.Vector(span.RowView(i+3)), tensor.Vector(tail.RowView(i)), 0) {
+			t.Fatal("spanning chunk disagrees with split reads")
+		}
+	}
+}

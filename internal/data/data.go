@@ -33,6 +33,15 @@ type Source interface {
 	Chunk(start, n int, dst *tensor.Matrix)
 }
 
+// Labeled is a Source whose examples carry integer class labels (*Digits
+// satisfies it). Labels must be stable: Label(idx) is a pure function of
+// the source and idx, safe for concurrent calls like Chunk.
+type Labeled interface {
+	Source
+	// Label returns the class of example idx.
+	Label(idx int) int
+}
+
 // checkChunk validates a Chunk request against the source geometry.
 func checkChunk(s Source, start, n int, dst *tensor.Matrix) {
 	if start < 0 || n < 0 {
@@ -63,9 +72,9 @@ func (s Null) Len() int { return s.N }
 func (s Null) Chunk(start, n int, dst *tensor.Matrix) { checkChunk(s, start, n, dst) }
 
 // NullLabeled is Null with a deterministic label stream: example i carries
-// label i mod Classes. It satisfies core.LabeledSource structurally, so
-// timing-only tuning runs can drive the supervised trainers (MLP, convnet)
-// on model-only devices without generating any floats.
+// label i mod Classes. It satisfies Labeled, so timing-only tuning runs can
+// drive the supervised trainers (MLP, convnet) on model-only devices
+// without generating any floats.
 type NullLabeled struct {
 	Null
 	Classes int

@@ -1,0 +1,113 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// NoMemLimit marks a PlanRequest that is not constrained by device staging
+// memory (callers that stage on the host, or validate an explicit chunk
+// size).
+const NoMemLimit = int64(math.MaxInt64)
+
+// ChunkPlan is the validated chunk geometry of the Fig. 5 streaming
+// pipeline: how a source of SourceLen examples is cut into device-sized
+// chunks of ChunkExamples, each an exact number of Batch-sized minibatches.
+// One plan is shared by every layer that walks the stream — the trainer's
+// prefetch ring, the cluster's per-node shards and the feed's lease
+// protocol — so chunk/batch divisibility rules cannot drift between them.
+type ChunkPlan struct {
+	// Batch is the minibatch size; ChunkExamples is a positive multiple
+	// of it.
+	Batch         int
+	ChunkExamples int
+	// SourceLen is the length of the source the plan was validated
+	// against; chunk starts wrap modulo it.
+	SourceLen int
+}
+
+// PlanRequest is the geometry PlanChunks validates and defaults.
+type PlanRequest struct {
+	// SourceLen is the number of examples in the source; it must hold at
+	// least one Batch.
+	SourceLen int
+	// Batch is the model minibatch size.
+	Batch int
+	// ChunkExamples is the requested chunk size; it must be a positive
+	// multiple of Batch, or zero to auto-size (min(SourceLen, 32×Batch)
+	// rounded down to a batch multiple, then shrunk to fit FreeBytes).
+	ChunkExamples int
+	// BufferDepth is the number of staging buffers the consumer keeps in
+	// flight (2 = double buffering); it scales the memory the auto-sizer
+	// budgets. Zero defaults to 2.
+	BufferDepth int
+	// ExampleDoubles is the number of float64 values staged per example
+	// (the input dimensionality, plus the class count when one-hot label
+	// chunks ride along).
+	ExampleDoubles int
+	// FreeBytes is the staging memory available to the auto-sizer —
+	// typically what is left of device global memory next to the model.
+	// Pass NoMemLimit when staging is not memory-constrained.
+	FreeBytes int64
+}
+
+// PlanChunks validates req and returns the resulting plan. It is the one
+// place the chunk/batch arithmetic of the paper's "large chunk" streaming
+// lives; trainer, cluster and feed all build their geometry here.
+func PlanChunks(req PlanRequest) (ChunkPlan, error) {
+	if req.Batch <= 0 {
+		return ChunkPlan{}, fmt.Errorf("data: plan batch %d is not positive", req.Batch)
+	}
+	if req.SourceLen < req.Batch {
+		return ChunkPlan{}, fmt.Errorf("data: source has %d examples, smaller than one batch of %d", req.SourceLen, req.Batch)
+	}
+	if req.BufferDepth <= 0 {
+		req.BufferDepth = 2
+	}
+	chunk := req.ChunkExamples
+	if chunk == 0 {
+		chunk = 32 * req.Batch
+		if max := req.SourceLen / req.Batch * req.Batch; chunk > max {
+			chunk = max
+		}
+		// Shrink the default so the staging ring fits the budgeted memory —
+		// the 8 GB device constraint that shapes the paper's chunking in
+		// the first place.
+		if req.ExampleDoubles <= 0 {
+			return ChunkPlan{}, fmt.Errorf("data: plan needs the per-example width to auto-size chunks, got %d", req.ExampleDoubles)
+		}
+		perExample := int64(req.ExampleDoubles) * 8 * int64(req.BufferDepth)
+		if maxExamples := req.FreeBytes / perExample; int64(chunk) > maxExamples {
+			chunk = int(maxExamples) / req.Batch * req.Batch
+		}
+		if chunk < req.Batch {
+			return ChunkPlan{}, fmt.Errorf("data: %d B of staging memory cannot hold even one %d-example batch of %d doubles",
+				req.FreeBytes, req.Batch, req.ExampleDoubles)
+		}
+	}
+	if chunk <= 0 || chunk%req.Batch != 0 {
+		return ChunkPlan{}, fmt.Errorf("data: chunk of %d examples is not a positive multiple of batch %d", chunk, req.Batch)
+	}
+	return ChunkPlan{Batch: req.Batch, ChunkExamples: chunk, SourceLen: req.SourceLen}, nil
+}
+
+// Validate re-checks an assembled plan (one received over a config struct
+// rather than built by PlanChunks).
+func (p ChunkPlan) Validate() error {
+	_, err := PlanChunks(PlanRequest{SourceLen: p.SourceLen, Batch: p.Batch, ChunkExamples: p.ChunkExamples})
+	return err
+}
+
+// BatchesPerChunk returns the number of minibatches one chunk holds.
+func (p ChunkPlan) BatchesPerChunk() int { return p.ChunkExamples / p.Batch }
+
+// ChunkStart returns the first example index of global chunk seq; chunks
+// wrap modulo SourceLen so multi-epoch streams never run off the end.
+func (p ChunkPlan) ChunkStart(seq int) int { return (seq * p.ChunkExamples) % p.SourceLen }
+
+// Chunks returns the number of chunks needed to issue steps minibatch
+// updates.
+func (p ChunkPlan) Chunks(steps int) int {
+	bpc := p.BatchesPerChunk()
+	return (steps + bpc - 1) / bpc
+}

@@ -1,0 +1,91 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanChunksExplicit(t *testing.T) {
+	p, err := PlanChunks(PlanRequest{SourceLen: 1000, Batch: 10, ChunkExamples: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Batch != 10 || p.ChunkExamples != 40 || p.SourceLen != 1000 {
+		t.Fatalf("plan %+v", p)
+	}
+	if p.BatchesPerChunk() != 4 {
+		t.Fatal("batches per chunk")
+	}
+	if p.Chunks(9) != 3 || p.Chunks(8) != 2 {
+		t.Fatal("chunk count")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanChunksAutoSize(t *testing.T) {
+	// Unconstrained memory: min(srcLen, 32×batch) rounded to a batch multiple.
+	p, err := PlanChunks(PlanRequest{SourceLen: 1000, Batch: 10, ExampleDoubles: 4, FreeBytes: NoMemLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChunkExamples != 320 {
+		t.Fatalf("default chunk %d, want 320", p.ChunkExamples)
+	}
+	// Short source: clamp to srcLen/batch*batch.
+	p, err = PlanChunks(PlanRequest{SourceLen: 57, Batch: 10, ExampleDoubles: 4, FreeBytes: NoMemLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChunkExamples != 50 {
+		t.Fatalf("clamped chunk %d, want 50", p.ChunkExamples)
+	}
+}
+
+func TestPlanChunksMemoryClamp(t *testing.T) {
+	// perExample = 4 doubles × 8 B × depth 2 = 64 B. 2000 B of staging →
+	// 31 examples → rounded down to 30 (batch 10).
+	p, err := PlanChunks(PlanRequest{SourceLen: 1000, Batch: 10, ExampleDoubles: 4, BufferDepth: 2, FreeBytes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChunkExamples != 30 {
+		t.Fatalf("memory-clamped chunk %d, want 30", p.ChunkExamples)
+	}
+	// Not even one batch fits.
+	if _, err := PlanChunks(PlanRequest{SourceLen: 1000, Batch: 10, ExampleDoubles: 4, BufferDepth: 2, FreeBytes: 500}); err == nil {
+		t.Fatal("want error when staging memory cannot hold one batch")
+	}
+}
+
+func TestPlanChunksErrors(t *testing.T) {
+	cases := []struct {
+		req  PlanRequest
+		want string
+	}{
+		{PlanRequest{SourceLen: 100, Batch: 0}, "positive"},
+		{PlanRequest{SourceLen: 5, Batch: 10}, "smaller than one batch"},
+		{PlanRequest{SourceLen: 100, Batch: 10, ChunkExamples: 45}, "multiple"},
+		{PlanRequest{SourceLen: 100, Batch: 10, ChunkExamples: -10}, "multiple"},
+		{PlanRequest{SourceLen: 100, Batch: 10, FreeBytes: NoMemLimit}, "per-example width"},
+	}
+	for _, c := range cases {
+		_, err := PlanChunks(c.req)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("PlanChunks(%+v) = %v, want error containing %q", c.req, err, c.want)
+		}
+	}
+}
+
+func TestPlanChunkStartWraps(t *testing.T) {
+	p := ChunkPlan{Batch: 10, ChunkExamples: 30, SourceLen: 100}
+	// Chunk starts advance by ChunkExamples modulo SourceLen — the same
+	// arithmetic the trainer's chunk loop used inline.
+	want := []int{0, 30, 60, 90, 20, 50}
+	for seq, w := range want {
+		if got := p.ChunkStart(seq); got != w {
+			t.Fatalf("ChunkStart(%d) = %d, want %d", seq, got, w)
+		}
+	}
+}

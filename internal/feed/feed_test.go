@@ -1,0 +1,391 @@
+package feed
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"phideep/internal/data"
+	"phideep/internal/tensor"
+)
+
+func plan(t *testing.T, srcLen, batch, chunk int) data.ChunkPlan {
+	t.Helper()
+	p, err := data.PlanChunks(data.PlanRequest{SourceLen: srcLen, Batch: batch, ChunkExamples: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFeedSingleConsumerReproducesChunkWalk(t *testing.T) {
+	// One consumer: lease k must be exactly the trainer's historical chunk
+	// walk — Start = (k*ChunkExamples) mod srcLen.
+	src := data.Null{D: 4, N: 100}
+	f, err := New(src, Config{Plan: plan(t, 100, 10, 30), TotalChunks: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Subscribe("trainer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 7; k++ {
+		l, err := c.Lease()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Seq != k || l.Ordinal != k || l.Shard != 0 || l.N != 30 || l.Start != (k*30)%100 {
+			t.Fatalf("lease %d = %+v", k, l)
+		}
+		if err := c.Commit(l, float64(k), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Lease(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("past horizon: %v", err)
+	}
+	s := f.Stats()
+	if s.Leases != 7 || s.Commits != 7 || s.Stalls != 0 || s.Outstanding != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFeedShardAssignment(t *testing.T) {
+	src := data.Null{D: 4, N: 120}
+	f, err := New(src, Config{Plan: plan(t, 120, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []*Consumer
+	for i := 0; i < 3; i++ {
+		c, err := f.Subscribe("node")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	// Consumer i's k-th lease is global seq k*S + i.
+	for k := 0; k < 4; k++ {
+		for i, c := range cs {
+			l, err := c.Lease()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Seq != k*3+i || l.Shard != i || l.Ordinal != k {
+				t.Fatalf("consumer %d lease %d = %+v", i, k, l)
+			}
+			if err := c.Commit(l, 0, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.Shards() != 3 {
+		t.Fatal("shard count")
+	}
+	// Sealed: no new subscribers.
+	if _, err := f.Subscribe("late"); !errors.Is(err, ErrSealed) {
+		t.Fatalf("late subscribe: %v", err)
+	}
+}
+
+func TestFeedWindowHardBound(t *testing.T) {
+	src := data.Null{D: 4, N: 100}
+	f, err := New(src, Config{Plan: plan(t, 100, 10, 10), Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := f.Subscribe("x")
+	l0, _ := c.Lease()
+	l1, _ := c.Lease()
+	if _, err := c.Lease(); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("third lease: %v", err)
+	}
+	if err := c.Commit(l0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lease(); err != nil {
+		t.Fatalf("lease after commit: %v", err)
+	}
+	// Double commit rejected.
+	if err := c.Commit(l0, 0, false); err == nil {
+		t.Fatal("double commit must fail")
+	}
+	_ = l1
+}
+
+func TestFeedBackpressureStalls(t *testing.T) {
+	// Two consumers; one never advances. The feed keeps granting (soft
+	// window) but ledgers every lease past IngestAhead as a stall.
+	src := data.Null{D: 4, N: 200}
+	f, err := New(src, Config{Plan: plan(t, 200, 10, 10), Window: 1, IngestAhead: 4, Ledger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _ := f.Subscribe("fast")
+	slow, _ := f.Subscribe("slow")
+	_ = slow // never leases: its position pins the low watermark at seq 1
+	for k := 0; k < 6; k++ {
+		l, err := fast.Lease()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.Commit(l, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// fast's leases are seqs 0,2,4,...,10; low watermark is slow's 1.
+	// Stalls at seq-1 >= 4, i.e. seqs 6, 8, 10.
+	if s := f.Stats(); s.Stalls != 3 {
+		t.Fatalf("stalls %d, want 3 (stats %+v)", s.Stalls, s)
+	}
+	// Closing the laggard releases the pressure.
+	slow.Close()
+	before := f.Stats().Stalls
+	l, _ := fast.Lease()
+	fast.Commit(l, 0, false)
+	if f.Stats().Stalls != before {
+		t.Fatal("stall recorded after laggard closed")
+	}
+}
+
+func TestFeedFillAndLabels(t *testing.T) {
+	d := data.NewDigits(16, 60, 3, 0.01)
+	f, err := NewLabeled(d, Config{Plan: plan(t, 60, 10, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := f.Subscribe("t")
+	l, err := c.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.NewMatrix(20, d.Dim())
+	if err := f.Fill(l, got); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.NewMatrix(20, d.Dim())
+	d.Chunk(l.Start, 20, want)
+	if tensor.MaxAbsDiff(want, got) != 0 {
+		t.Fatal("Fill diverges from direct Chunk")
+	}
+	oneHot := tensor.NewMatrix(20, 10)
+	if err := f.FillLabels(l, 10, oneHot); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := f.Labels(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		wantL := d.Label((l.Start + i) % 60)
+		if labels[i] != wantL || oneHot.RowView(i)[wantL] != 1 {
+			t.Fatalf("row %d label mismatch", i)
+		}
+	}
+	// A committed lease no longer grants data access.
+	if err := c.Commit(l, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fill(l, got); err == nil {
+		t.Fatal("Fill of committed lease must fail")
+	}
+	// Unlabeled feeds reject label access.
+	uf, _ := New(data.Null{D: 2, N: 60}, Config{Plan: plan(t, 60, 10, 20)})
+	uc, _ := uf.Subscribe("u")
+	ul, _ := uc.Lease()
+	if err := uf.FillLabels(ul, 10, oneHot); err == nil {
+		t.Fatal("FillLabels on unlabeled feed must fail")
+	}
+}
+
+func TestFeedSeekAbortsAndRepositions(t *testing.T) {
+	src := data.Null{D: 4, N: 100}
+	f, err := New(src, Config{Plan: plan(t, 100, 10, 10), Ledger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := f.Subscribe("t")
+	l0, _ := c.Lease()
+	if err := c.Seek(5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pos() != 5 {
+		t.Fatal("pos after seek")
+	}
+	// The aborted lease is dead: no data, no commit.
+	if err := f.Fill(l0, tensor.NewMatrix(10, 4)); err == nil {
+		t.Fatal("Fill of aborted lease must fail")
+	}
+	if err := c.Commit(l0, 0, false); err == nil {
+		t.Fatal("commit of aborted lease must fail")
+	}
+	l, err := c.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Ordinal != 5 || l.Seq != 5 {
+		t.Fatalf("post-seek lease %+v", l)
+	}
+	s := f.Stats()
+	if s.Seeks != 1 || s.Aborts != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if err := c.Seek(-1); err == nil {
+		t.Fatal("negative seek must fail")
+	}
+}
+
+func TestFeedClosedConsumer(t *testing.T) {
+	src := data.Null{D: 4, N: 100}
+	f, _ := New(src, Config{Plan: plan(t, 100, 10, 10)})
+	c, _ := f.Subscribe("t")
+	l, _ := c.Lease()
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.Lease(); !errors.Is(err, ErrClosed) {
+		t.Fatal("lease on closed consumer")
+	}
+	if err := c.Commit(l, 0, false); !errors.Is(err, ErrClosed) {
+		t.Fatal("commit on closed consumer")
+	}
+	if err := c.Seek(0); !errors.Is(err, ErrClosed) {
+		t.Fatal("seek on closed consumer")
+	}
+	if s := f.Stats(); s.Consumers != 0 || s.Outstanding != 0 || s.Aborts != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFeedConfigValidation(t *testing.T) {
+	src := data.Null{D: 4, N: 100}
+	if _, err := New(src, Config{Plan: data.ChunkPlan{Batch: 10, ChunkExamples: 25, SourceLen: 100}}); err == nil {
+		t.Fatal("invalid plan must fail")
+	}
+	if _, err := New(src, Config{Plan: plan(t, 50, 10, 10)}); err == nil {
+		t.Fatal("plan/source length mismatch must fail")
+	}
+	if _, err := New(src, Config{Plan: plan(t, 100, 10, 10), Window: -1}); err == nil {
+		t.Fatal("negative window must fail")
+	}
+}
+
+// ledgerRun drives a fixed two-consumer schedule and returns the ledger.
+func ledgerRun(t *testing.T) []Event {
+	t.Helper()
+	src := data.NewDigits(16, 120, 5, 0.02)
+	f, err := NewLabeled(src, Config{Plan: plan(t, 120, 10, 20), TotalChunks: 10, IngestAhead: 2, Ledger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Subscribe("a")
+	b, _ := f.Subscribe("b")
+	clock := 0.0
+	for k := 0; ; k++ {
+		la, errA := a.Lease()
+		lb, errB := b.Lease()
+		if errors.Is(errA, ErrExhausted) && errors.Is(errB, ErrExhausted) {
+			break
+		}
+		clock += 0.5
+		if errA == nil {
+			if err := a.Commit(la, clock, k%3 == 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if errB == nil {
+			// b lags: commits one step later, and seeks back once.
+			if k == 2 {
+				if err := b.Seek(1); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if err := b.Commit(lb, clock+0.25, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b.Close()
+	return f.Events()
+}
+
+func TestFeedLedgerDeterministic(t *testing.T) {
+	// Two identical runs, bit-identical ledgers — the property the
+	// cluster's fault-injected determinism test leans on.
+	e1 := ledgerRun(t)
+	e2 := ledgerRun(t)
+	if len(e1) == 0 {
+		t.Fatal("empty ledger")
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("ledgers diverge:\n%v\nvs\n%v", e1, e2)
+	}
+	// The schedule above skips every third commit of consumer a and
+	// includes a seek; make sure the interesting kinds are all present.
+	kinds := map[EventKind]int{}
+	for _, e := range e1 {
+		kinds[e.Kind]++
+	}
+	for _, k := range []EventKind{EvSubscribe, EvLease, EvCommit, EvSeek, EvAbort, EvClose, EvStall} {
+		if kinds[k] == 0 {
+			t.Fatalf("ledger has no %q events: %v", k, kinds)
+		}
+	}
+}
+
+func TestFeedConcurrentConsumers(t *testing.T) {
+	// Hammer the protocol from parallel goroutines (race detector food);
+	// every consumer must see its own deterministic shard walk.
+	src := data.NewNaturalPatches(8, 160, 9)
+	const S = 4
+	f, err := New(src, Config{Plan: plan(t, 160, 8, 16), TotalChunks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs [S]*Consumer
+	for i := range cs {
+		cs[i], _ = f.Subscribe("w")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, S)
+	for i := range cs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cs[i]
+			dst := tensor.NewMatrix(16, src.Dim())
+			for k := 0; ; k++ {
+				l, err := c.Lease()
+				if errors.Is(err, ErrExhausted) {
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if l.Seq != k*S+i {
+					errs <- errors.New("shard walk broken")
+					return
+				}
+				if err := f.Fill(l, dst); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Commit(l, float64(k), false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s := f.Stats(); s.Leases != 40 || s.Commits != 40 {
+		t.Fatalf("stats %+v", s)
+	}
+}

@@ -1,0 +1,21 @@
+package feed
+
+import "phideep/internal/metrics"
+
+// Data-plane observability handles (DESIGN.md §"Observability"): protocol
+// counters for the lease/commit stream and gauges for its live occupancy.
+// Recorded only while metrics.Enabled() holds; the per-Feed Stats snapshot
+// is always maintained regardless.
+var (
+	mLeases  = metrics.Default().Counter("feed.leases")
+	mCommits = metrics.Default().Counter("feed.commits")
+	mSkips   = metrics.Default().Counter("feed.skips")
+	mStalls  = metrics.Default().Counter("feed.stalls")
+	mSeeks   = metrics.Default().Counter("feed.seeks")
+
+	// mOccupancy is the current number of uncommitted leases across all
+	// consumers of all feeds in the process; mConsumers the open
+	// subscriber count.
+	mOccupancy = metrics.Default().Gauge("feed.window.occupancy")
+	mConsumers = metrics.Default().Gauge("feed.consumers")
+)

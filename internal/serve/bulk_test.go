@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"phideep/internal/autoencoder"
+	"phideep/internal/data"
+	"phideep/internal/feed"
+	"phideep/internal/mlp"
+	"phideep/internal/rng"
+	"phideep/internal/tensor"
+)
+
+// bulkFeed builds a single-consumer feed over src for bulk scoring.
+func bulkFeed(t *testing.T, src data.Source, batch, chunk, total int) (*feed.Feed, *feed.Consumer) {
+	t.Helper()
+	p, err := data.PlanChunks(data.PlanRequest{SourceLen: src.Len(), Batch: batch, ChunkExamples: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := feed.Config{Plan: p, TotalChunks: total}
+	var f *feed.Feed
+	if l, ok := src.(data.Labeled); ok {
+		f, err = feed.NewLabeled(l, cfg)
+	} else {
+		f, err = feed.New(src, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Subscribe("scorer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c
+}
+
+// randSource builds an in-memory source of n random dim-wide examples.
+func randSource(n, dim int, seed uint64) data.InMemory {
+	r := rng.New(seed)
+	x := tensor.NewMatrix(n, dim)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	return data.InMemory{X: x}
+}
+
+// TestScoreFeedMatchesSingleRequests: the bulk path answers every source
+// row once, in order, with exactly the answer the single-request path
+// gives for the same input.
+func TestScoreFeedMatchesSingleRequests(t *testing.T) {
+	cfg := aeTestConfig()
+	srv, err := New(Autoencoder(cfg, autoencoder.NewParams(cfg, 1)), Config{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	src := randSource(48, cfg.Visible, 3)
+	f, c := bulkFeed(t, src, 8, 24, 2) // horizon = one pass
+	got := make(map[int][]float64)
+	res, err := srv.ScoreFeed(OpEncode, c, func(ex int, scores []float64) {
+		if _, dup := got[ex]; dup {
+			t.Fatalf("example %d scored twice", ex)
+		}
+		got[ex] = scores
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 2 || res.Rows != 48 || res.Failed != 0 {
+		t.Fatalf("bulk result %+v", res)
+	}
+	if len(got) != src.Len() {
+		t.Fatalf("scored %d of %d examples", len(got), src.Len())
+	}
+	for ex, scores := range got {
+		want, err := srv.Encode(src.X.RowView(ex))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if scores[j] != want[j] {
+				t.Fatalf("example %d: bulk %v vs single %v", ex, scores, want)
+			}
+		}
+	}
+	// Every lease committed; nothing outstanding.
+	if s := f.Stats(); s.Leases != 2 || s.Commits != 2 || s.Outstanding != 0 {
+		t.Fatalf("feed stats %+v", s)
+	}
+}
+
+// TestScoreFeedAccuracy: a labeled feed plus OpPredict yields the free
+// accuracy sweep, and the count matches a hand-rolled argmax loop.
+func TestScoreFeedAccuracy(t *testing.T) {
+	src := data.NewDigits(8, 60, 4, 0.05)
+	mcfg := mlp.Config{Sizes: []int{src.Dim(), 10, 10}, Lambda: 1e-4}
+	srv, err := New(MLP(mcfg, mlp.NewParams(mcfg, 2)), Config{MaxBatch: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, c := bulkFeed(t, src, 10, 30, 2)
+	want := 0
+	res, err := srv.ScoreFeed(OpPredict, c, func(ex int, scores []float64) {
+		if argmax(scores) == src.Label(ex) {
+			want++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Labeled {
+		t.Fatal("labeled feed not detected")
+	}
+	if res.Correct != want {
+		t.Fatalf("accuracy %d, callback counted %d", res.Correct, want)
+	}
+	if res.Rows != 60 {
+		t.Fatalf("rows %d", res.Rows)
+	}
+}
+
+// TestScoreFeedUnboundedStopsAfterOnePass: without a TotalChunks horizon
+// the sweep stops after one full pass instead of looping the source.
+func TestScoreFeedUnboundedStopsAfterOnePass(t *testing.T) {
+	cfg := aeTestConfig()
+	srv, err := New(Autoencoder(cfg, autoencoder.NewParams(cfg, 1)), Config{MaxBatch: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	src := randSource(36, cfg.Visible, 3)
+	_, c := bulkFeed(t, src, 6, 12, 0) // unbounded
+	res, err := srv.ScoreFeed(OpEncode, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 3 || res.Rows != 36 {
+		t.Fatalf("one pass over 36 examples in 12-chunks: %+v", res)
+	}
+}
+
+// TestScoreFeedValidation covers the rejection surface.
+func TestScoreFeedValidation(t *testing.T) {
+	cfg := aeTestConfig()
+	srv, err := New(Autoencoder(cfg, autoencoder.NewParams(cfg, 1)), Config{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := srv.ScoreFeed(OpEncode, nil, nil); err == nil {
+		t.Fatal("nil consumer accepted")
+	}
+	_, c := bulkFeed(t, data.Null{D: cfg.Visible, N: 40}, 4, 8, 1)
+	var uerr *UnsupportedOpError
+	if _, err := srv.ScoreFeed(OpPredict, c, nil); !errors.As(err, &uerr) {
+		t.Fatalf("unsupported op: %v", err)
+	}
+	_, wide := bulkFeed(t, data.Null{D: cfg.Visible + 1, N: 40}, 4, 8, 1)
+	if _, err := srv.ScoreFeed(OpEncode, wide, nil); err == nil || !strings.Contains(err.Error(), "wide") {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+}
+
+// TestScoreFeedClosedServerAborts: closing the server mid-sweep returns
+// the partial result with an error instead of hanging or panicking.
+func TestScoreFeedClosedServerAborts(t *testing.T) {
+	cfg := aeTestConfig()
+	srv, err := New(Autoencoder(cfg, autoencoder.NewParams(cfg, 1)), Config{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	_, c := bulkFeed(t, data.Null{D: cfg.Visible, N: 40}, 4, 8, 2)
+	res, err := srv.ScoreFeed(OpEncode, c, nil)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if res == nil || res.Rows != 0 || res.Failed == 0 {
+		t.Fatalf("partial result %+v", res)
+	}
+}
+
+// TestScoreFeedContextCancel: cancellation stops the sweep between chunks.
+func TestScoreFeedContextCancel(t *testing.T) {
+	cfg := aeTestConfig()
+	srv, err := New(Autoencoder(cfg, autoencoder.NewParams(cfg, 1)), Config{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, c := bulkFeed(t, data.Null{D: cfg.Visible, N: 400}, 4, 8, 0)
+	n := 0
+	_, err = srv.ScoreFeedContext(ctx, OpEncode, c, func(int, []float64) {
+		n++
+		if n == 8 {
+			cancel()
+		}
+	})
+	if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, ErrDeadline)) {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+	if n >= 400 {
+		t.Fatal("sweep ran to completion despite cancellation")
+	}
+}

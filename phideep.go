@@ -58,6 +58,7 @@ import (
 	"phideep/internal/core"
 	"phideep/internal/data"
 	"phideep/internal/device"
+	"phideep/internal/feed"
 	"phideep/internal/hybrid"
 	"phideep/internal/kernels"
 	"phideep/internal/mlp"
@@ -101,8 +102,9 @@ type (
 	// (Trainer.RunLabeled): one StepLabeled per minibatch with one-hot
 	// targets staged alongside the examples.
 	LabeledTrainable = core.LabeledTrainable
-	// LabeledSource is a Source whose examples carry integer class labels
-	// (Digits implements it).
+	// LabeledSource is a Source whose examples carry integer class labels.
+	//
+	// Deprecated: use Labeled; this alias remains for existing callers.
 	LabeledSource = core.LabeledSource
 	// DeviceStats is a snapshot of device activity counters.
 	DeviceStats = device.Stats
@@ -134,6 +136,16 @@ type (
 
 	// Source streams training examples by index.
 	Source = data.Source
+	// Labeled is a Source whose examples carry integer class labels
+	// (Digits implements it) — the canonical name for what the trainer
+	// historically called core.LabeledSource.
+	Labeled = data.Labeled
+	// ChunkPlan is the validated chunk geometry shared by the trainer, the
+	// cluster, and the feed: batch size, chunk size, source length.
+	ChunkPlan = data.ChunkPlan
+	// PlanRequest parameterizes PlanChunks, including the auto-sizing
+	// inputs (buffer depth, per-example width, free device bytes).
+	PlanRequest = data.PlanRequest
 	// InMemory serves examples from a matrix.
 	InMemory = data.InMemory
 	// Digits generates handwritten-digit-like images.
@@ -142,6 +154,22 @@ type (
 	NaturalPatches = data.NaturalPatches
 	// Shuffled re-permutes any Source per epoch (deterministic per seed).
 	Shuffled = data.Shuffled
+
+	// Feed is the streaming data plane: a dataset server handing sharded
+	// chunk leases to training, cluster, and serving consumers (DESIGN.md
+	// §15).
+	Feed = feed.Feed
+	// FeedConfig parameterizes a Feed (chunk plan, horizon, window,
+	// backpressure bound, ledger).
+	FeedConfig = feed.Config
+	// FeedConsumer is one subscribed consumer's lease cursor.
+	FeedConsumer = feed.Consumer
+	// FeedLease names one leased chunk (global sequence, shard, rows).
+	FeedLease = feed.Lease
+	// FeedStats is a Feed's protocol counter snapshot.
+	FeedStats = feed.Stats
+	// FeedEvent is one ledger entry of a Feed run with FeedConfig.Ledger.
+	FeedEvent = feed.Event
 
 	// Matrix is a dense row-major float64 matrix.
 	Matrix = tensor.Matrix
@@ -688,6 +716,37 @@ func NewNaturalPatches(patchSide, n int, seed uint64) *NaturalPatches {
 func NewShuffled(base Source, seed uint64) *Shuffled {
 	return data.NewShuffled(base, seed)
 }
+
+// PlanNoMemLimit marks a PlanRequest whose auto-sizing is not constrained
+// by device staging memory.
+const PlanNoMemLimit = data.NoMemLimit
+
+// PlanChunks validates and auto-sizes a chunk geometry — the same
+// computation the Trainer historically ran inline, now shared with the
+// cluster and the feed.
+func PlanChunks(req PlanRequest) (ChunkPlan, error) {
+	return data.PlanChunks(req)
+}
+
+// NewFeed builds a dataset server over src with the given protocol
+// configuration; consumers subscribe before the first lease seals the
+// shard count.
+func NewFeed(src Source, cfg FeedConfig) (*Feed, error) {
+	return feed.New(src, cfg)
+}
+
+// NewLabeledFeed is NewFeed for a labeled source: label chunks (one-hot or
+// class indices) ride the same lease protocol.
+func NewLabeledFeed(src Labeled, cfg FeedConfig) (*Feed, error) {
+	return feed.NewLabeled(src, cfg)
+}
+
+// ErrFeedExhausted and ErrFeedWindowFull are the feed protocol's sentinel
+// errors: the horizon is spent; the consumer holds its full lease window.
+var (
+	ErrFeedExhausted  = feed.ErrExhausted
+	ErrFeedWindowFull = feed.ErrWindowFull
+)
 
 // PretrainAutoencoders greedily pre-trains one Sparse Autoencoder per
 // adjacent layer pair of cfg.Sizes (the Fig. 1 stacking), streaming src.
